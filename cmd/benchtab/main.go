@@ -1,0 +1,137 @@
+// Command benchtab regenerates every table and figure of the paper's
+// evaluation section:
+//
+//	benchtab -table 1          # dataset statistics
+//	benchtab -table 2          # main comparison (LF stats + end model)
+//	benchtab -figure 3         # token usage
+//	benchtab -figure 4         # API cost
+//	benchtab -table 3          # LLM ablation
+//	benchtab -table 4          # sampler ablation
+//	benchtab -table 5          # filter ablation
+//	benchtab -all              # everything
+//
+// By default it runs the paper's protocol (full-size datasets, 5 seeds,
+// 50 iterations); -scale and -seeds trade fidelity for speed. Figures 3
+// and 4 reuse the Table 2 runs, so `-all` computes them once.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"datasculpt/internal/experiment"
+)
+
+func main() {
+	table := flag.Int("table", 0, "table number to regenerate (1-5)")
+	figure := flag.Int("figure", 0, "figure number to regenerate (3 or 4)")
+	all := flag.Bool("all", false, "regenerate every table and figure")
+	seeds := flag.Int("seeds", 5, "random seeds per configuration")
+	scale := flag.Float64("scale", 1.0, "dataset scale in (0,1]")
+	iterations := flag.Int("iterations", 50, "DataSculpt query iterations")
+	model := flag.String("model", "gpt-3.5", "default LLM profile")
+	datasets := flag.String("datasets", "", "comma-separated dataset subset (default: all)")
+	quiet := flag.Bool("quiet", false, "suppress progress logging")
+	compare := flag.Bool("compare", true, "print paper-vs-reproduction averages")
+	markdown := flag.String("markdown", "", "also write a markdown report (EXPERIMENTS.md format) to this path; implies -all")
+	flag.Parse()
+
+	opts := experiment.Options{
+		Seeds:      *seeds,
+		Scale:      *scale,
+		Iterations: *iterations,
+		Model:      *model,
+	}
+	if !*quiet {
+		opts.Log = os.Stderr
+	}
+	if *datasets != "" {
+		opts.Datasets = strings.Split(*datasets, ",")
+	}
+
+	if *markdown != "" {
+		*all = true
+	}
+	if err := run(opts, *table, *figure, *all, *compare, *markdown); err != nil {
+		fmt.Fprintln(os.Stderr, "benchtab:", err)
+		os.Exit(1)
+	}
+}
+
+func run(opts experiment.Options, table, figure int, all, compare bool, markdown string) error {
+	var main, llms, samplers, filters *experiment.Grid
+	needMain := all || table == 2 || figure == 3 || figure == 4
+
+	if all || table == 1 {
+		out, err := experiment.RenderTable1(opts)
+		if err != nil {
+			return err
+		}
+		fmt.Println(out)
+	}
+	if needMain {
+		g, err := experiment.MainResults(opts)
+		if err != nil {
+			return err
+		}
+		main = g
+	}
+	if all || table == 2 {
+		fmt.Println(experiment.RenderGrid(main))
+		if compare {
+			fmt.Println(experiment.RenderPaperComparison(main, experiment.PaperTable2))
+		}
+	}
+	if all || figure == 3 {
+		fmt.Println(experiment.RenderFigure3(main))
+	}
+	if all || figure == 4 {
+		fmt.Println(experiment.RenderFigure4(main))
+	}
+	if all || table == 3 {
+		g, err := experiment.LLMAblation(opts)
+		if err != nil {
+			return err
+		}
+		llms = g
+		fmt.Println(experiment.RenderGrid(g))
+		if compare {
+			fmt.Println(experiment.RenderPaperComparison(g, experiment.PaperTable3))
+		}
+	}
+	if all || table == 4 {
+		g, err := experiment.SamplerAblation(opts)
+		if err != nil {
+			return err
+		}
+		samplers = g
+		fmt.Println(experiment.RenderGrid(g))
+		if compare {
+			fmt.Println(experiment.RenderPaperComparison(g, experiment.PaperTable4))
+		}
+	}
+	if all || table == 5 {
+		g, err := experiment.FilterAblation(opts)
+		if err != nil {
+			return err
+		}
+		filters = g
+		fmt.Println(experiment.RenderGrid(g))
+		if compare {
+			fmt.Println(experiment.RenderPaperComparison(g, experiment.PaperTable5))
+		}
+	}
+	if markdown != "" {
+		report := experiment.MarkdownReport(opts, main, llms, samplers, filters)
+		if err := os.WriteFile(markdown, []byte(report), 0o644); err != nil {
+			return fmt.Errorf("writing markdown report: %w", err)
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s\n", markdown)
+	}
+	if !all && table == 0 && figure == 0 {
+		return fmt.Errorf("nothing to do: pass -table N, -figure N or -all")
+	}
+	return nil
+}

@@ -1,0 +1,175 @@
+// Command datasculpt runs one DataSculpt pipeline configuration on one
+// dataset and prints the resulting LF set, its statistics, and the
+// downstream model performance:
+//
+//	datasculpt -dataset youtube
+//	datasculpt -dataset imdb -variant sc -model gpt-4 -iterations 50
+//	datasculpt -dataset spouse -variant kate -sampler uncertain -seeds 3
+//
+// It is the quickest way to explore how the framework behaves under a
+// specific configuration; use benchtab to regenerate the paper's full
+// tables and figures.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"datasculpt/internal/core"
+	"datasculpt/internal/dataset"
+	"datasculpt/internal/lf"
+	"datasculpt/internal/metrics"
+)
+
+func main() {
+	dsName := flag.String("dataset", "youtube", "dataset name (youtube, sms, imdb, yelp, agnews, spouse)")
+	variant := flag.String("variant", "base", "prompting variant: base, cot, sc, kate")
+	model := flag.String("model", "gpt-3.5", "LLM profile (gpt-3.5, gpt-4, llama2-7b, llama2-13b, llama2-70b)")
+	smp := flag.String("sampler", "random", "query instance sampler: random, uncertain, seu")
+	labelModel := flag.String("labelmodel", "metal", "label model: metal, majority, triplet")
+	iterations := flag.Int("iterations", 50, "query iterations")
+	seeds := flag.Int("seeds", 1, "number of seeds to average")
+	scale := flag.Float64("scale", 1.0, "dataset scale in (0,1]")
+	noAccuracy := flag.Bool("no-accuracy-filter", false, "disable the accuracy filter")
+	noRedundancy := flag.Bool("no-redundancy-filter", false, "disable the redundancy filter")
+	showLFs := flag.Bool("lfs", false, "print the generated LF set with per-LF statistics")
+	analyze := flag.Bool("analyze", false, "print the Snorkel-style LF analysis table (coverage/overlap/conflict)")
+	saveLFs := flag.String("save-lfs", "", "write the final LF set as JSON to this path")
+	revise := flag.Bool("revise", false, "enable the counterexample-revision pass after the main loop")
+	flag.Parse()
+
+	if err := run(runOptions{
+		dataset: *dsName, variant: *variant, model: *model, sampler: *smp,
+		labelModel: *labelModel, iterations: *iterations, seeds: *seeds,
+		scale: *scale, noAccuracy: *noAccuracy, noRedundancy: *noRedundancy,
+		showLFs: *showLFs, analyze: *analyze, saveLFs: *saveLFs, revise: *revise,
+	}); err != nil {
+		fmt.Fprintln(os.Stderr, "datasculpt:", err)
+		os.Exit(1)
+	}
+}
+
+// runOptions bundles the CLI flags.
+type runOptions struct {
+	dataset, variant, model, sampler, labelModel string
+	iterations, seeds                            int
+	scale                                        float64
+	noAccuracy, noRedundancy                     bool
+	showLFs, analyze, revise                     bool
+	saveLFs                                      string
+}
+
+func run(o runOptions) error {
+	dsName, variant, model, smp, labelModel := o.dataset, o.variant, o.model, o.sampler, o.labelModel
+	iterations, seeds, scale := o.iterations, o.seeds, o.scale
+	noAccuracy, noRedundancy, showLFs := o.noAccuracy, o.noRedundancy, o.showLFs
+	var results []*core.Result
+	var last *dataset.Dataset
+	for s := 1; s <= seeds; s++ {
+		d, err := dataset.Load(dsName, int64(7000+13*s), scale)
+		if err != nil {
+			return err
+		}
+		last = d
+		cfg := core.Config{
+			Model:      model,
+			Variant:    core.Variant(variant),
+			Iterations: iterations,
+			Sampler:    smp,
+			LabelModel: labelModel,
+			Filters: lf.FilterConfig{
+				UseAccuracy:   !noAccuracy,
+				UseRedundancy: !noRedundancy,
+			},
+			ReviseRejected: o.revise,
+			Seed:           int64(100*s + 1),
+		}
+		res, err := core.Run(d, cfg)
+		if err != nil {
+			return err
+		}
+		results = append(results, res)
+		fmt.Printf("seed %d: %s\n", s, res)
+	}
+
+	fmt.Printf("\n%s / datasculpt-%s / %s / %s sampling, %d iterations, %d seed(s)\n",
+		dsName, variant, model, smp, iterations, seeds)
+	var nlf, acc, cov, total, em, tokens, cost []float64
+	accKnown := false
+	for _, r := range results {
+		nlf = append(nlf, float64(r.NumLFs))
+		cov = append(cov, r.LFCoverage)
+		total = append(total, r.TotalCoverage)
+		em = append(em, r.EndMetric)
+		tokens = append(tokens, float64(r.TotalTokens()))
+		cost = append(cost, r.CostUSD)
+		if r.LFAccuracyKnown {
+			acc = append(acc, r.LFAccuracy)
+			accKnown = true
+		}
+	}
+	fmt.Printf("  #LFs:        %.1f\n", metrics.Mean(nlf))
+	if accKnown {
+		fmt.Printf("  LF accuracy: %.3f\n", metrics.Mean(acc))
+	} else {
+		fmt.Printf("  LF accuracy: - (train labels unavailable)\n")
+	}
+	fmt.Printf("  LF coverage: %.4f\n", metrics.Mean(cov))
+	fmt.Printf("  total cov.:  %.3f\n", metrics.Mean(total))
+	fmt.Printf("  end %s: %.3f\n", results[0].MetricName, metrics.Mean(em))
+	fmt.Printf("  tokens:      %.0f  (cost $%.4f)\n", metrics.Mean(tokens), metrics.Mean(cost))
+
+	final := results[len(results)-1]
+	if o.saveLFs != "" {
+		data, err := lf.MarshalLFs(final.LFs)
+		if err != nil {
+			return fmt.Errorf("serializing LF set: %w", err)
+		}
+		if err := os.WriteFile(o.saveLFs, data, 0o644); err != nil {
+			return fmt.Errorf("writing %s: %w", o.saveLFs, err)
+		}
+		fmt.Printf("\nwrote %d LFs to %s\n", len(final.LFs), o.saveLFs)
+	}
+	if o.analyze {
+		ix := lf.NewIndex(last.Train)
+		vm := lf.BuildVoteMatrix(ix, final.LFs)
+		var gold []int
+		if last.TrainLabeled {
+			gold = dataset.Labels(last.Train)
+		}
+		sums := lf.Analyze(vm, final.LFs, gold)
+		lf.SortByCoverage(sums)
+		fmt.Println("\nLF analysis (train split):")
+		fmt.Print(lf.FormatSummaries(sums))
+	}
+
+	if showLFs && len(results) > 0 {
+		fmt.Println("\nGenerated label functions (last seed):")
+		r := results[len(results)-1]
+		ix := lf.NewIndex(last.Train)
+		vm := lf.BuildVoteMatrix(ix, r.LFs)
+		gold := dataset.Labels(last.Train)
+		type row struct {
+			name string
+			cov  float64
+			acc  float64
+			n    int
+		}
+		rows := make([]row, vm.NumLFs())
+		for j := 0; j < vm.NumLFs(); j++ {
+			a, n := vm.LFAccuracy(j, gold)
+			rows[j] = row{r.LFs[j].Name(), vm.Coverage(j), a, n}
+		}
+		sort.Slice(rows, func(i, j int) bool { return rows[i].cov > rows[j].cov })
+		for _, rw := range rows {
+			if last.TrainLabeled {
+				fmt.Printf("  %-40s cov=%.4f acc=%.3f (n=%d)\n", rw.name, rw.cov, rw.acc, rw.n)
+			} else {
+				fmt.Printf("  %-40s cov=%.4f\n", rw.name, rw.cov)
+			}
+		}
+	}
+	return nil
+}

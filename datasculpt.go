@@ -1,0 +1,190 @@
+// Package datasculpt is the public API of DataSculpt-Go, a reproduction
+// of "DataSculpt: Cost-Efficient Label Function Design via Prompting
+// Large Language Models" (EDBT 2025).
+//
+// DataSculpt automates programmatic weak supervision: instead of writing
+// label functions (LFs) by hand, it iteratively selects query instances
+// from an unlabeled corpus, prompts an LLM with few-shot examples to
+// propose keyword-based LFs, filters the proposals for validity, accuracy
+// and redundancy, aggregates the surviving LF votes with a generative
+// label model, and trains a downstream classifier on the resulting
+// probabilistic labels.
+//
+// The minimal flow:
+//
+//	d, _ := datasculpt.LoadDataset("youtube", 1, 1.0)
+//	cfg := datasculpt.DefaultConfig(datasculpt.VariantSC)
+//	res, _ := datasculpt.Run(d, cfg)
+//	fmt.Println(res)
+//
+// The offline substrate — simulated LLM endpoints, synthetic corpora
+// matching the paper's datasets, a MeTaL-style label model and a
+// logistic-regression end model — is documented in DESIGN.md.
+package datasculpt
+
+import (
+	"io"
+
+	"datasculpt/internal/baselines"
+	"datasculpt/internal/core"
+	"datasculpt/internal/dataset"
+	"datasculpt/internal/experiment"
+	"datasculpt/internal/lf"
+	"datasculpt/internal/llm"
+)
+
+// Dataset is a labeled/unlabeled corpus with train/valid/test splits.
+type Dataset = dataset.Dataset
+
+// Example is one corpus instance.
+type Example = dataset.Example
+
+// Config parameterizes a pipeline run; zero values select the paper's
+// defaults.
+type Config = core.Config
+
+// Result carries the LF statistics, end-model metric and cost accounting
+// of one run.
+type Result = core.Result
+
+// Variant names a DataSculpt prompting configuration.
+type Variant = core.Variant
+
+// The four prompting variants evaluated in the paper.
+const (
+	VariantBase = core.VariantBase
+	VariantCoT  = core.VariantCoT
+	VariantSC   = core.VariantSC
+	VariantKATE = core.VariantKATE
+)
+
+// LabelFunction is a weak supervision source.
+type LabelFunction = lf.LabelFunction
+
+// KeywordLF labels a passage by keyword containment; EntityKeywordLF is
+// its relation-task extension requiring the keyword to attach to the
+// target entity pair.
+type (
+	KeywordLF       = lf.KeywordLF
+	EntityKeywordLF = lf.EntityKeywordLF
+)
+
+// FilterConfig selects which LF filters the pipeline applies.
+type FilterConfig = lf.FilterConfig
+
+// ChatModel abstracts an LLM endpoint; Simulated is the deterministic
+// offline implementation used throughout this repo.
+type (
+	ChatModel = llm.ChatModel
+	Simulated = llm.Simulated
+)
+
+// ExperimentOptions parameterizes the multi-seed experiment sweeps that
+// regenerate the paper's tables and figures.
+type ExperimentOptions = experiment.Options
+
+// DatasetNames lists the six benchmark datasets in the paper's order.
+func DatasetNames() []string { return dataset.Names() }
+
+// LoadDataset generates the named synthetic dataset. Scale 1 reproduces
+// the paper's Table 1 split sizes; smaller scales shrink every split for
+// quick experiments.
+func LoadDataset(name string, seed int64, scale float64) (*Dataset, error) {
+	return dataset.Load(name, seed, scale)
+}
+
+// DefaultConfig returns the paper's default configuration for a variant
+// (GPT-3.5, 50 iterations, 10 shots, temperature 0.7, random sampling,
+// all filters, MeTaL label model).
+func DefaultConfig(v Variant) Config { return core.DefaultConfig(v) }
+
+// Run executes the full DataSculpt pipeline on a dataset.
+func Run(d *Dataset, cfg Config) (*Result, error) { return core.Run(d, cfg) }
+
+// EvaluateLFSet computes LF statistics and trains/evaluates the end model
+// for an externally produced LF set (e.g. hand-written LFs).
+func EvaluateLFSet(d *Dataset, lfs []LabelFunction, cfg Config) (*Result, error) {
+	return core.EvaluateLFSet(d, lfs, cfg)
+}
+
+// NewKeywordLF builds a keyword LF after validity checks (1-3 gram).
+func NewKeywordLF(phrase string, class int) (*KeywordLF, error) {
+	return lf.NewKeywordLF(phrase, class)
+}
+
+// NewEntityKeywordLF builds an entity-aware keyword LF for relation tasks.
+func NewEntityKeywordLF(phrase string, class int) (*EntityKeywordLF, error) {
+	return lf.NewEntityKeywordLF(phrase, class)
+}
+
+// NewSimulatedLLM builds the deterministic simulated chat model for a
+// dataset. Model accepts "gpt-3.5", "gpt-4", "llama2-7b", "llama2-13b",
+// "llama2-70b" or their full provider identifiers.
+func NewSimulatedLLM(model string, d *Dataset, seed int64) (*Simulated, error) {
+	return llm.NewSimulated(model, d, seed)
+}
+
+// WrenchLFs reconstructs the WRENCH benchmark's expert LF set for a
+// dataset (baseline of Table 2).
+func WrenchLFs(d *Dataset) ([]LabelFunction, error) { return baselines.Wrench(d) }
+
+// ScriptoriumLFs simulates the ScriptoriumWS code-generation baseline.
+// It returns the LF set and a usage meter billing the generation calls.
+func ScriptoriumLFs(d *Dataset, model string, seed int64) ([]LabelFunction, *llm.Meter, error) {
+	return baselines.Scriptorium(d, model, seed)
+}
+
+// PromptedLFs simulates the PromptedLF exhaustive-prompting baseline:
+// every train instance is annotated by every template. The returned meter
+// records the Θ(n·T) token cost.
+func PromptedLFs(d *Dataset, model string, seed int64) ([]LabelFunction, *llm.Meter, error) {
+	return baselines.PromptedLF(d, model, seed)
+}
+
+// MainResults runs the paper's Table 2 comparison (seven methods × six
+// datasets), which also yields the Figure 3/4 cost data.
+func MainResults(o ExperimentOptions) (*experiment.Grid, error) {
+	return experiment.MainResults(o)
+}
+
+// LFSummary is the per-LF diagnostic record of AnalyzeLFs (coverage,
+// overlap, conflict, accuracy).
+type LFSummary = lf.Summary
+
+// AnalyzeLFs computes Snorkel-style per-LF diagnostics over a split.
+// gold may be nil for unlabeled splits.
+func AnalyzeLFs(split []*Example, lfs []LabelFunction, gold []int) []LFSummary {
+	ix := lf.NewIndex(split)
+	vm := lf.BuildVoteMatrix(ix, lfs)
+	return lf.Analyze(vm, lfs, gold)
+}
+
+// MarshalLFs serializes an LF set as JSON (keyword, entity-keyword and
+// disjunction LFs; opaque predicate/annotation LFs are rejected).
+func MarshalLFs(lfs []LabelFunction) ([]byte, error) { return lf.MarshalLFs(lfs) }
+
+// UnmarshalLFs decodes an LF set written by MarshalLFs.
+func UnmarshalLFs(data []byte) ([]LabelFunction, error) { return lf.UnmarshalLFs(data) }
+
+// LoadDatasetDir reads a dataset from a WRENCH-style JSON directory (see
+// internal/dataset.LoadDir for the layout). Datasets loaded from disk
+// carry no signal table and therefore need a real ChatModel rather than
+// the simulator.
+func LoadDatasetDir(dir string) (*Dataset, error) { return dataset.LoadDir(dir) }
+
+// SaveDatasetDir writes a dataset in the same layout LoadDatasetDir reads.
+func SaveDatasetDir(d *Dataset, dir string) error { return d.SaveDir(dir) }
+
+// NewOpenAIClient builds a ChatModel against any OpenAI-compatible
+// chat-completions endpoint, so the identical pipeline can run on a real
+// provider instead of the offline simulator. Set PromptPrice and
+// CompletionPrice on the returned client for cost accounting.
+func NewOpenAIClient(baseURL, apiKey, model string) *llm.OpenAIClient {
+	return llm.NewOpenAIClient(baseURL, apiKey, model)
+}
+
+// NewTranscript wraps any ChatModel so every call is appended as a JSON
+// line to w — the audit/replay record of a labeling run.
+func NewTranscript(inner ChatModel, w io.Writer) *llm.Transcript {
+	return llm.NewTranscript(inner, w)
+}

@@ -1,0 +1,102 @@
+package datasculpt_test
+
+import (
+	"testing"
+
+	"datasculpt"
+)
+
+// TestPublicAPIEndToEnd exercises the exported surface the examples use:
+// dataset loading, the pipeline, external LF evaluation and the baselines.
+func TestPublicAPIEndToEnd(t *testing.T) {
+	names := datasculpt.DatasetNames()
+	if len(names) != 7 || names[0] != "youtube" || names[6] != "trec" {
+		t.Fatalf("DatasetNames = %v", names)
+	}
+
+	d, err := datasculpt.LoadDataset("youtube", 9, 0.15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := datasculpt.DefaultConfig(datasculpt.VariantBase)
+	cfg.Seed = 9
+	cfg.Iterations = 15
+	res, err := datasculpt.Run(d, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.NumLFs == 0 || res.TotalTokens() == 0 {
+		t.Errorf("run result = %+v", res)
+	}
+
+	// hand-written LF through the public constructors
+	spam, err := datasculpt.NewKeywordLF("subscribe", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ham, err := datasculpt.NewKeywordLF("melody", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	manual, err := datasculpt.EvaluateLFSet(d, []datasculpt.LabelFunction{spam, ham}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if manual.NumLFs != 2 {
+		t.Errorf("manual set = %+v", manual)
+	}
+
+	// baselines
+	wr, err := datasculpt.WrenchLFs(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(wr) != 10 {
+		t.Errorf("wrench LFs = %d", len(wr))
+	}
+	_, meter, err := datasculpt.ScriptoriumLFs(d, "gpt-3.5", 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if meter.TotalTokens() == 0 {
+		t.Error("scriptorium meter empty")
+	}
+	_, meter, err = datasculpt.PromptedLFs(d, "gpt-3.5", 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if meter.Calls != 10*len(d.Train) {
+		t.Errorf("promptedLF calls = %d", meter.Calls)
+	}
+
+	// simulated LLM directly
+	llmModel, err := datasculpt.NewSimulatedLLM("gpt-4", d, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if llmModel.ModelName() != "gpt-4-0613" {
+		t.Errorf("model name = %s", llmModel.ModelName())
+	}
+
+	// relation-task LF constructor
+	rel, err := datasculpt.NewEntityKeywordLF("married", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel.Keyword != "married" {
+		t.Errorf("entity LF = %+v", rel)
+	}
+}
+
+// TestPublicExperimentSweep checks the exported experiment entry point.
+func TestPublicExperimentSweep(t *testing.T) {
+	g, err := datasculpt.MainResults(datasculpt.ExperimentOptions{
+		Seeds: 1, Scale: 0.08, Datasets: []string{"youtube"}, Iterations: 10,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(g.Methods) != 7 {
+		t.Errorf("methods = %v", g.Methods)
+	}
+}

@@ -1,0 +1,51 @@
+package datasculpt_test
+
+import (
+	"fmt"
+
+	"datasculpt"
+)
+
+// ExampleRun demonstrates the minimal pipeline flow. (A tiny scale and
+// iteration count keep the doc example fast; real runs use the defaults.)
+func ExampleRun() {
+	d, err := datasculpt.LoadDataset("youtube", 1, 0.05)
+	if err != nil {
+		panic(err)
+	}
+	cfg := datasculpt.DefaultConfig(datasculpt.VariantBase)
+	cfg.Seed = 1
+	cfg.Iterations = 5
+	res, err := datasculpt.Run(d, cfg)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(res.NumLFs > 0, res.Calls)
+	// Output: true 5
+}
+
+// ExampleNewKeywordLF shows manual LF construction and application.
+func ExampleNewKeywordLF() {
+	f, err := datasculpt.NewKeywordLF("Free Gift", 1)
+	if err != nil {
+		panic(err)
+	}
+	e := &datasculpt.Example{Text: "claim your FREE gift now", E1Pos: -1, E2Pos: -1}
+	fmt.Println(f.Keyword, f.Apply(e))
+	// Output: free gift 1
+}
+
+// ExampleMarshalLFs shows LF-set persistence.
+func ExampleMarshalLFs() {
+	spam, _ := datasculpt.NewKeywordLF("prize", 1)
+	data, err := datasculpt.MarshalLFs([]datasculpt.LabelFunction{spam})
+	if err != nil {
+		panic(err)
+	}
+	back, err := datasculpt.UnmarshalLFs(data)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(len(back), back[0].Name())
+	// Output: 1 kw:"prize"->1
+}

@@ -1,0 +1,50 @@
+// Quickstart: generate label functions for the Youtube comment-spam
+// dataset with the default DataSculpt configuration and train the
+// downstream classifier.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"datasculpt"
+)
+
+func main() {
+	// Load the Youtube dataset at half scale for a fast demo (scale 1.0
+	// reproduces the paper's split sizes from Table 1).
+	d, err := datasculpt.LoadDataset("youtube", 1, 0.5)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("dataset %s: %d train / %d valid / %d test, classes %v\n",
+		d.Name, len(d.Train), len(d.Valid), len(d.Test), d.ClassNames)
+
+	// The default configuration matches the paper: GPT-3.5, 50 query
+	// iterations, 10 in-context examples, random sampling, all filters.
+	cfg := datasculpt.DefaultConfig(datasculpt.VariantBase)
+	cfg.Seed = 1
+
+	res, err := datasculpt.Run(d, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("\ngenerated %d label functions\n", res.NumLFs)
+	fmt.Printf("mean LF accuracy on train: %s\n", res.LFAccuracyString())
+	fmt.Printf("mean LF coverage:          %.4f\n", res.LFCoverage)
+	fmt.Printf("total coverage:            %.3f\n", res.TotalCoverage)
+	fmt.Printf("end model %s:        %.3f\n", res.MetricName, res.EndMetric)
+	fmt.Printf("LLM usage: %d calls, %d tokens, $%.4f\n",
+		res.Calls, res.TotalTokens(), res.CostUSD)
+
+	fmt.Println("\nfirst ten label functions:")
+	for i, f := range res.LFs {
+		if i == 10 {
+			break
+		}
+		fmt.Printf("  %s\n", f.Name())
+	}
+}

@@ -1,0 +1,84 @@
+// Relation extraction on the Spouse dataset: entity-aware keyword LFs,
+// the default-class mechanism for "absence" classes (paper §3.6), and an
+// unlabeled training split.
+//
+//	go run ./examples/relation_extraction
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"datasculpt"
+)
+
+func main() {
+	d, err := datasculpt.LoadDataset("spouse", 7, 0.25)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("Spouse relation extraction: %d unlabeled train passages, default class %q\n\n",
+		len(d.Train), d.ClassNames[d.DefaultClass])
+
+	// Entity-aware LFs attach a keyword to the target pair: "[A] married
+	// [B]". The same phrase on a distractor pair elsewhere in the passage
+	// must not activate the LF.
+	married, err := datasculpt.NewEntityKeywordLF("married", 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var target, distractor *datasculpt.Example
+	for _, e := range d.Valid {
+		vote := married.Apply(e)
+		if vote == 1 && target == nil {
+			target = e
+		}
+		if vote != 1 && distractor == nil && containsToken(e, "married") {
+			distractor = e
+		}
+		if target != nil && distractor != nil {
+			break
+		}
+	}
+	if target != nil {
+		fmt.Printf("activates — keyword between the target pair (%s / %s):\n  %.90s...\n\n",
+			target.Entity1, target.Entity2, target.Text)
+	}
+	if distractor != nil {
+		fmt.Printf("abstains — same keyword belongs to a distractor pair, not (%s / %s):\n  %.90s...\n\n",
+			distractor.Entity1, distractor.Entity2, distractor.Text)
+	}
+
+	// Full pipeline. LLMs rarely propose keywords for the "no relation"
+	// class, so uncovered passages fall back to the default class before
+	// end-model training.
+	cfg := datasculpt.DefaultConfig(datasculpt.VariantSC)
+	cfg.Seed = 7
+	res, err := datasculpt.Run(d, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	pos, neg := 0, 0
+	for _, f := range res.LFs {
+		if f.TargetClass() == 1 {
+			pos++
+		} else {
+			neg++
+		}
+	}
+	fmt.Printf("pipeline: %d LFs (%d spouse-class, %d no-relation-class)\n", res.NumLFs, pos, neg)
+	fmt.Printf("coverage %.3f — the remaining %.0f%% of passages take the default class\n",
+		res.TotalCoverage, 100*(1-res.TotalCoverage))
+	fmt.Printf("LF accuracy: %s (train labels unavailable, as in WRENCH)\n", res.LFAccuracyString())
+	fmt.Printf("end model F1: %.3f\n", res.EndMetric)
+}
+
+func containsToken(e *datasculpt.Example, tok string) bool {
+	e.EnsureTokens()
+	for _, t := range e.Tokens {
+		if t == tok {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,3 @@
+module datasculpt
+
+go 1.22

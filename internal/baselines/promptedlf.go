@@ -1,0 +1,209 @@
+package baselines
+
+import (
+	"fmt"
+	"math/rand"
+
+	"datasculpt/internal/dataset"
+	"datasculpt/internal/lf"
+	"datasculpt/internal/llm"
+	"datasculpt/internal/textproc"
+)
+
+// promptedLFCounts are the template counts PromptedLF uses per dataset
+// (the #LFs row of Table 2): the original paper ships templates for
+// Youtube, SMS and Spouse; the remaining datasets use templates translated
+// from the WRENCH benchmark LFs, as the DataSculpt authors did.
+var promptedLFCounts = map[string]int{
+	"youtube": 10,
+	"sms":     73,
+	"imdb":    7,
+	"yelp":    7,
+	"agnews":  4,
+	"spouse":  11,
+}
+
+// PromptedLF response-model knobs. Each template is applied to *every*
+// unlabeled train instance (the exhaustive querying whose cost Figures
+// 3-4 expose). Two template flavours reproduce the coverage spread the
+// paper reports:
+//
+//   - keyword templates ("Does the message mention a prize?") vote only
+//     when the model confirms the condition — high precision, coverage
+//     near the keyword's document frequency (SMS: 73 such templates,
+//     per-LF coverage ~0.01);
+//   - class templates ("Is this review positive or negative?") vote on
+//     any instance with recognizable signal and abstain on hard ones —
+//     broad coverage, accuracy near the model's zero-shot ability.
+const (
+	promptedKeywordRecall   = 0.95
+	promptedKeywordFalsePos = 0.0005
+	promptedKeywordLabelAcc = 0.97
+	promptedClassAbstain    = 0.9 // abstain rate on signal-free instances
+	promptedTemplateTokens  = 28  // template text prepended to each instance
+	promptedAnswerTokens    = 6   // short structured answer
+)
+
+// PromptedLF simulates Smith et al. (2022): every train instance is
+// annotated by every prompt template and each template's annotations form
+// one labeling function. Returns the LF set and a meter billing one call
+// per (template, instance) pair — the Θ(n·T) cost that DataSculpt's
+// Θ(m) querying avoids.
+func PromptedLF(d *dataset.Dataset, model string, seed int64) ([]lf.LabelFunction, *llm.Meter, error) {
+	nTemplates, ok := promptedLFCounts[d.Name]
+	if !ok {
+		return nil, nil, fmt.Errorf("baselines: no PromptedLF template count for dataset %q", d.Name)
+	}
+	profile, err := llm.ProfileByName(model)
+	if err != nil {
+		return nil, nil, err
+	}
+	sim, err := llm.NewSimulated(model, d, seed+501)
+	if err != nil {
+		return nil, nil, err
+	}
+	meter := llm.NewMeter(sim)
+	rng := rand.New(rand.NewSource(seed))
+	k := d.NumClasses()
+
+	// SMS uses keyword-translated templates (one per WRENCH LF); the
+	// other datasets use class-level phrasings.
+	keywordStyle := d.Name == "sms"
+
+	var templates []template
+	if keywordStyle {
+		perClass := make([][]dataset.KeywordSignal, k)
+		for c := 0; c < k; c++ {
+			perClass[c] = d.Signal.TopByWeight(c, nTemplates)
+		}
+		for rank := 0; len(templates) < nTemplates; rank++ {
+			progressed := false
+			for c := 0; c < k && len(templates) < nTemplates; c++ {
+				if rank >= len(perClass[c]) {
+					continue
+				}
+				progressed = true
+				templates = append(templates, template{keyword: perClass[c][rank].Phrase, class: c})
+			}
+			if !progressed {
+				return nil, nil, fmt.Errorf("baselines: signal table too small for %d PromptedLF templates", nTemplates)
+			}
+		}
+	} else {
+		for i := 0; i < nTemplates; i++ {
+			templates = append(templates, template{phrasing: i})
+		}
+	}
+
+	// Annotate every train instance with every template.
+	lfs := make([]lf.LabelFunction, len(templates))
+	for ti, tpl := range templates {
+		votes := make(map[*dataset.Example]int, len(d.Train))
+		for _, e := range d.Train {
+			e.EnsureTokens()
+			// bill the call: template + instance prompt, short answer
+			meter.Record([]llm.Response{{
+				Usage: llm.Usage{
+					PromptTokens:     promptedTemplateTokens + textproc.ApproxLLMTokens(e.Text),
+					CompletionTokens: promptedAnswerTokens,
+				},
+			}})
+			if v, voted := tpl.annotate(d, profile, rng, e); voted {
+				votes[e] = v
+			}
+		}
+		lfs[ti] = &lf.AnnotationLF{
+			LFName: fmt.Sprintf("promptedlf-%s-%d", d.Name, ti),
+			Votes:  votes,
+		}
+	}
+	return lfs, meter, nil
+}
+
+// template is one PromptedLF prompt.
+type template struct {
+	// keyword-style template: confirm this phrase and vote class.
+	keyword string
+	class   int
+	// class-style template: phrasing index (different phrasings share the
+	// same decision logic but draw independent noise).
+	phrasing int
+}
+
+// annotate produces the template's weak label for one instance, or
+// (0,false) to abstain.
+func (t template) annotate(d *dataset.Dataset, p llm.Profile, rng *rand.Rand, e *dataset.Example) (int, bool) {
+	if t.keyword != "" {
+		present := textproc.ContainsPhrase(e.Tokens, t.keyword)
+		if present {
+			if rng.Float64() < promptedKeywordRecall {
+				if rng.Float64() < promptedKeywordLabelAcc {
+					return t.class, true
+				}
+				return otherClass(rng, d.NumClasses(), t.class), true
+			}
+			return 0, false
+		}
+		if rng.Float64() < promptedKeywordFalsePos {
+			return t.class, true
+		}
+		return 0, false
+	}
+
+	// class-style: decide from the instance's visible signals, the same
+	// world knowledge the simulated chat model uses.
+	weights := make([]float64, d.NumClasses())
+	any := false
+	for _, gram := range textproc.AllNGrams(e.Tokens, textproc.MaxKeywordLen) {
+		sig, ok := d.Signal.Lookup(gram)
+		if !ok {
+			continue
+		}
+		if rng.Float64() < p.KeywordRecall {
+			weights[sig.Class] += sig.Strength
+			any = true
+		}
+	}
+	if !any {
+		if rng.Float64() < promptedClassAbstain {
+			return 0, false
+		}
+		return rng.Intn(d.NumClasses()), true
+	}
+	best, second := 0, -1
+	var total float64
+	for c := 0; c < d.NumClasses(); c++ {
+		total += weights[c]
+		if c > 0 && weights[c] > weights[best] {
+			second, best = best, c
+		} else if c > 0 && (second < 0 || weights[c] > weights[second]) {
+			second = c
+		}
+	}
+	// A careful zero-shot annotator declines ambiguous instances: mixed
+	// signals with a thin margin mostly abstain rather than guess.
+	if second >= 0 && total > 0 {
+		margin := (weights[best] - weights[second]) / total
+		if margin < 0.3 && rng.Float64() < 0.7 {
+			return 0, false
+		}
+	}
+	// instance-specific zero-shot labeling is the most accurate regime
+	// the paper measures; boost the base ability modestly
+	acc := p.LabelAccuracy + 0.05
+	if acc > 0.99 {
+		acc = 0.99
+	}
+	if rng.Float64() < acc {
+		return best, true
+	}
+	return otherClass(rng, d.NumClasses(), best), true
+}
+
+func otherClass(rng *rand.Rand, k, c int) int {
+	o := rng.Intn(k - 1)
+	if o >= c {
+		o++
+	}
+	return o
+}

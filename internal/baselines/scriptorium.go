@@ -1,0 +1,124 @@
+package baselines
+
+import (
+	"datasculpt/internal/dataset"
+	"datasculpt/internal/lf"
+	"datasculpt/internal/llm"
+	"fmt"
+	"math/rand"
+)
+
+// scriptoriumLFCounts are the LF set sizes ScriptoriumWS reports per
+// dataset (the #LFs row of Table 2).
+var scriptoriumLFCounts = map[string]int{
+	"youtube": 9,
+	"sms":     73,
+	"imdb":    6,
+	"yelp":    11,
+	"agnews":  8,
+	"spouse":  8,
+}
+
+// scriptorium simulation knobs, calibrated to the paper's findings: LFs
+// generated from task-level prompts are broad (each is a disjunction over
+// many keywords, so coverage is high) and imprecise (about a tenth of the
+// disjuncts leak from other classes, and occasionally the whole program
+// targets the wrong class), ending ~10.9 points below DataSculpt in mean
+// LF accuracy.
+const (
+	scriptoriumMinDisjuncts = 8
+	scriptoriumMaxDisjuncts = 16
+	scriptoriumLeakRate     = 0.18
+	scriptoriumWrongClass   = 0.05
+	// Each generated program costs one short code-generation prompt.
+	scriptoriumPromptTokens     = 140
+	scriptoriumCompletionTokens = 90
+)
+
+// Scriptorium simulates ScriptoriumWS (Huang et al. 2023): a
+// code-generation model prompted once per LF with only the task
+// description — no instance grounding. The generated programs are
+// keyword-disjunction predicates whose breadth and error rate reproduce
+// the coverage/accuracy trade-off the paper measures. Returns the LF set
+// and a meter billing the code-generation calls.
+func Scriptorium(d *dataset.Dataset, model string, seed int64) ([]lf.LabelFunction, *llm.Meter, error) {
+	total, ok := scriptoriumLFCounts[d.Name]
+	if !ok {
+		return nil, nil, fmt.Errorf("baselines: no ScriptoriumWS LF count for dataset %q", d.Name)
+	}
+	sim, err := llm.NewSimulated(model, d, seed+301)
+	if err != nil {
+		return nil, nil, err
+	}
+	meter := llm.NewMeter(sim)
+	rng := rand.New(rand.NewSource(seed))
+	k := d.NumClasses()
+
+	var out []lf.LabelFunction
+	for i := 0; i < total; i++ {
+		class := i % k // target class, round-robin
+		signals := d.Signal.Class(class)
+		nDisj := scriptoriumMinDisjuncts + rng.Intn(scriptoriumMaxDisjuncts-scriptoriumMinDisjuncts+1)
+		if nDisj > len(signals) {
+			nDisj = len(signals)
+		}
+		keywords := make([]string, 0, nDisj)
+		seen := make(map[string]struct{})
+		for len(keywords) < nDisj {
+			var sig dataset.KeywordSignal
+			if rng.Float64() < scriptoriumLeakRate && k > 1 {
+				other := rng.Intn(k - 1)
+				if other >= class {
+					other++
+				}
+				cands := d.Signal.Class(other)
+				sig = cands[rng.Intn(len(cands))]
+			} else {
+				sig = signals[rng.Intn(len(signals))]
+			}
+			if _, dup := seen[sig.Phrase]; dup {
+				continue
+			}
+			seen[sig.Phrase] = struct{}{}
+			keywords = append(keywords, sig.Phrase)
+		}
+		voteClass := class
+		if rng.Float64() < scriptoriumWrongClass && k > 1 {
+			voteClass = rng.Intn(k - 1)
+			if voteClass >= class {
+				voteClass++
+			}
+		}
+		f, err := disjunctionLF(d, fmt.Sprintf("scriptorium-%s-%d", d.Name, i), keywords, voteClass)
+		if err != nil {
+			return nil, nil, err
+		}
+		out = append(out, f)
+
+		// bill the code-generation call
+		meter.Record([]llm.Response{{
+			Usage: llm.Usage{
+				PromptTokens:     scriptoriumPromptTokens,
+				CompletionTokens: scriptoriumCompletionTokens,
+			},
+		}})
+	}
+
+	// The real system's Spouse LF set includes an always-on "no relation"
+	// default program (its reported coverage is 1.000); reproduce it.
+	if d.Name == "spouse" && d.DefaultClass >= 0 {
+		out[len(out)-1] = &lf.PredicateLF{
+			LFName: "scriptorium-spouse-default",
+			Class:  d.DefaultClass,
+			Fire:   func(*dataset.Example) bool { return true },
+		}
+	}
+	return out, meter, nil
+}
+
+// disjunctionLF compiles a keyword disjunction (the shape of a generated
+// Python program: "if any(k in text for k in ...)") into a serializable
+// DisjunctionLF, entity-aware on relation tasks.
+func disjunctionLF(d *dataset.Dataset, name string, keywords []string, class int) (lf.LabelFunction, error) {
+	return lf.NewDisjunctionLF(name, keywords, class, d.Task == dataset.RelationClassification)
+}

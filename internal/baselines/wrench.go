@@ -1,0 +1,112 @@
+// Package baselines implements the three comparison systems of the
+// paper's evaluation: the WRENCH benchmark's human-designed LFs, the
+// ScriptoriumWS code-generation approach, and PromptedLF's exhaustive
+// zero-shot prompting.
+package baselines
+
+import (
+	"fmt"
+
+	"datasculpt/internal/dataset"
+	"datasculpt/internal/lf"
+)
+
+// wrenchLFCounts are the hand-designed LF set sizes the WRENCH benchmark
+// ships per dataset (the #LFs row of Table 2).
+var wrenchLFCounts = map[string]int{
+	"youtube": 10,
+	"sms":     73,
+	"imdb":    5,
+	"yelp":    8,
+	"agnews":  9,
+	"spouse":  9,
+}
+
+// wrenchGroupSizes control how many expert keywords one WRENCH LF bundles
+// into a disjunction. The real benchmark's LFs are broad heuristics —
+// expression lists and regex families with per-LF coverage between 0.04
+// (Spouse) and 0.24 (IMDB), far above a single keyword's — except SMS,
+// whose 73 LFs are individual keyword rules.
+var wrenchGroupSizes = map[string]int{
+	"youtube": 5,
+	"sms":     1,
+	"imdb":    8,
+	"yelp":    6,
+	"agnews":  6,
+	"spouse":  2,
+}
+
+// Wrench reconstructs the benchmark's expert LF set for a dataset: the
+// highest-frequency, highest-precision phrases per class — exactly what a
+// domain expert reaches for first — bundled into disjunction LFs of the
+// real set's breadth. The LF count per dataset matches the real
+// benchmark; phrases come from the generator's signal table (the stand-in
+// for the expert's domain knowledge, see DESIGN.md).
+func Wrench(d *dataset.Dataset) ([]lf.LabelFunction, error) {
+	total, ok := wrenchLFCounts[d.Name]
+	if !ok {
+		return nil, fmt.Errorf("baselines: no WRENCH LF count for dataset %q", d.Name)
+	}
+	groupSize := wrenchGroupSizes[d.Name]
+	if groupSize <= 0 {
+		groupSize = 1
+	}
+	k := d.NumClasses()
+
+	// Per-class LF quotas. The real WRENCH spouse LF set is dominated by
+	// negative-signal heuristics (family/professional-relation cues) with
+	// few positive-class LFs — which is why its paper F1 on Spouse is
+	// only 0.181 — so its class allocation is reproduced explicitly.
+	quota := make([]int, k)
+	if d.Name == "spouse" {
+		quota[0], quota[1] = 7, 2
+	} else {
+		for c := range quota {
+			quota[c] = (total + k - 1 - c) / k
+		}
+	}
+
+	var out []lf.LabelFunction
+	for c := 0; c < k; c++ {
+		ranked := d.Signal.TopByWeight(c, quota[c]*groupSize)
+		for g := 0; g < quota[c]; g++ {
+			lo := g * groupSize
+			if lo >= len(ranked) {
+				return nil, fmt.Errorf("baselines: dataset %q signal table too small for %d WRENCH LFs", d.Name, total)
+			}
+			hi := lo + groupSize
+			if hi > len(ranked) {
+				hi = len(ranked)
+			}
+			if groupSize == 1 {
+				f, err := newKeywordLF(d, ranked[lo].Phrase, c)
+				if err != nil {
+					return nil, err
+				}
+				out = append(out, f)
+				continue
+			}
+			keywords := make([]string, 0, hi-lo)
+			for _, sig := range ranked[lo:hi] {
+				keywords = append(keywords, sig.Phrase)
+			}
+			f, err := disjunctionLF(d, fmt.Sprintf("wrench-%s-c%d-%d", d.Name, c, g), keywords, c)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, f)
+		}
+	}
+	if len(out) != total {
+		return nil, fmt.Errorf("baselines: built %d WRENCH LFs for %q, want %d", len(out), d.Name, total)
+	}
+	return out, nil
+}
+
+// newKeywordLF builds the task-appropriate keyword LF flavour.
+func newKeywordLF(d *dataset.Dataset, phrase string, class int) (lf.LabelFunction, error) {
+	if d.Task == dataset.RelationClassification {
+		return lf.NewEntityKeywordLF(phrase, class)
+	}
+	return lf.NewKeywordLF(phrase, class)
+}

@@ -1,0 +1,65 @@
+package core
+
+import (
+	"fmt"
+
+	"datasculpt/internal/lf"
+)
+
+// Result collects everything Table 2 reports about one run, plus the
+// token/cost accounting of Figures 3-4 and diagnostic counts.
+type Result struct {
+	// Dataset and Method identify the run.
+	Dataset, Method string
+
+	// NumLFs is the size of the final LF set (#LFs row).
+	NumLFs int
+	// LFAccuracy is the mean per-LF accuracy on the train split (LF Acc.
+	// row); LFAccuracyKnown is false when train labels are unavailable
+	// (Spouse), where the paper prints "-".
+	LFAccuracy      float64
+	LFAccuracyKnown bool
+	// LFCoverage is the mean per-LF coverage on the train split (LF Cov.).
+	LFCoverage float64
+	// TotalCoverage is the fraction of train instances covered by any LF
+	// (Total Cov.).
+	TotalCoverage float64
+	// EndMetric is test accuracy, or binary F1 for imbalanced datasets
+	// (EM Acc/F1); MetricName says which.
+	EndMetric  float64
+	MetricName string
+
+	// PromptTokens/CompletionTokens/Calls/CostUSD account for every LLM
+	// call of the run (Figures 3-4).
+	PromptTokens     int
+	CompletionTokens int
+	Calls            int
+	CostUSD          float64
+
+	// ParseFailures counts LLM responses the parser rejected entirely.
+	ParseFailures int
+	// Rejections counts filtered candidates by reason.
+	Rejections map[lf.RejectReason]int
+
+	// LFs is the final label-function set.
+	LFs []lf.LabelFunction
+}
+
+// TotalTokens returns prompt+completion tokens.
+func (r *Result) TotalTokens() int { return r.PromptTokens + r.CompletionTokens }
+
+// LFAccuracyString renders LF accuracy the way the paper's tables do:
+// "-" when train labels are unavailable.
+func (r *Result) LFAccuracyString() string {
+	if !r.LFAccuracyKnown {
+		return "-"
+	}
+	return fmt.Sprintf("%.3f", r.LFAccuracy)
+}
+
+// String summarizes the run for logs.
+func (r *Result) String() string {
+	return fmt.Sprintf("%s/%s: %d LFs, LF acc %s, LF cov %.3f, total cov %.3f, %s %.3f, %d tokens, $%.4f",
+		r.Dataset, r.Method, r.NumLFs, r.LFAccuracyString(), r.LFCoverage,
+		r.TotalCoverage, r.MetricName, r.EndMetric, r.TotalTokens(), r.CostUSD)
+}

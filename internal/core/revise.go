@@ -1,0 +1,104 @@
+package core
+
+import (
+	"math/rand"
+
+	"datasculpt/internal/dataset"
+	"datasculpt/internal/lf"
+	"datasculpt/internal/llm"
+	"datasculpt/internal/prompt"
+	"datasculpt/internal/textproc"
+)
+
+// The paper's discussion section names LF revision as future work: "our
+// work does not revise the LFs developed by LLMs. Future works could
+// consider an iterative prompting strategy to enhance LF quality further."
+// This file implements that extension as counterexample re-prompting:
+// when the accuracy filter rejects a candidate λ(k,c), the pipeline finds
+// a validation instance the candidate mislabels (contains k but carries a
+// different gold label) and issues one additional normal prompt on that
+// instance. The LLM, now grounded in the counterexample, proposes
+// keywords for the *correct* class — often a more specific phrase that
+// disambiguates the one that failed. Enable with Config.ReviseRejected.
+
+// reviser drives the revision pass.
+type reviser struct {
+	d        *dataset.Dataset
+	validIx  *lf.Index
+	selector prompt.ExampleSelector
+	style    prompt.Style
+	model    llm.ChatModel
+	meter    *llm.Meter
+	cfg      *Config
+}
+
+// counterexample finds a validation instance where the rejected candidate
+// misfires: the keyword is present but the gold label differs from the
+// candidate's class.
+func (r *reviser) counterexample(rej lf.Rejected) *dataset.Example {
+	phrase, n := textproc.NormalizePhrase(rej.Keyword)
+	if n == 0 {
+		return nil
+	}
+	split := r.validIx.Split()
+	for _, id := range r.validIx.Docs(phrase) {
+		e := split[id]
+		if e.Label != dataset.NoLabel && e.Label != rej.Class {
+			return e
+		}
+	}
+	return nil
+}
+
+// revise runs up to maxRevisions counterexample prompts over the chain's
+// accuracy-filter rejections and offers the resulting keywords back. It
+// returns the number of revision prompts issued and of LFs the revisions
+// added.
+func (r *reviser) revise(chain *lf.FilterChain, rng *rand.Rand, maxRevisions int) (prompts, added int, err error) {
+	rejected := chain.Rejected()
+	// shuffle so revision effort spreads over the rejection list rather
+	// than clustering on the earliest iterations
+	order := rng.Perm(len(rejected))
+	nSamples := r.cfg.samplesPerQuery()
+	for _, idx := range order {
+		if prompts >= maxRevisions {
+			break
+		}
+		rej := rejected[idx]
+		if rej.Reason != lf.RejectInaccurate {
+			continue
+		}
+		counter := r.counterexample(rej)
+		if counter == nil {
+			continue
+		}
+		demos := r.selector.Select(counter, r.cfg.Shots)
+		msgs := prompt.Render(r.style, r.d, demos, counter)
+		responses, err := r.model.Chat(msgs, r.cfg.Temperature, nSamples)
+		if err != nil {
+			return prompts, added, err
+		}
+		r.meter.Record(responses)
+		prompts++
+
+		var parsed *prompt.Parsed
+		if nSamples == 1 {
+			parsed, err = prompt.ParseResponse(responses[0].Content)
+		} else {
+			contents := make([]string, len(responses))
+			for i, resp := range responses {
+				contents[i] = resp.Content
+			}
+			parsed, err = prompt.SelfConsistency(contents)
+		}
+		if err != nil {
+			continue
+		}
+		for _, kw := range parsed.Keywords {
+			if f, _ := chain.Offer(kw, parsed.Label); f != nil {
+				added++
+			}
+		}
+	}
+	return prompts, added, nil
+}

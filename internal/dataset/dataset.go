@@ -1,0 +1,242 @@
+// Package dataset defines the corpus types used across DataSculpt and
+// provides synthetic generators for the six WRENCH benchmark datasets the
+// paper evaluates on (Youtube, SMS, IMDB, Yelp, Agnews, Spouse).
+//
+// The real WRENCH corpora cannot be shipped in an offline reproduction, so
+// each dataset is replaced by a deterministic generator that matches the
+// paper's Table 1 statistics (split sizes, class counts, class balance)
+// and the qualitative properties the evaluation depends on: per-class
+// indicative keyword pools with graded precision, document-length
+// profiles that drive LLM token costs, a fraction of "hard" documents
+// without surface signal, and — for Spouse — entity-pair relation
+// instances with unlabeled training data. See DESIGN.md §2 for the full
+// substitution argument.
+package dataset
+
+import (
+	"fmt"
+
+	"datasculpt/internal/textproc"
+)
+
+// TaskType distinguishes plain text classification from relation
+// classification between two entities mentioned in the passage.
+type TaskType int
+
+const (
+	// TextClassification categorizes a passage (topic, sentiment, spam).
+	TextClassification TaskType = iota
+	// RelationClassification decides whether a target entity pair within
+	// the passage stands in a given relation (e.g. spouses).
+	RelationClassification
+)
+
+// String implements fmt.Stringer.
+func (t TaskType) String() string {
+	switch t {
+	case TextClassification:
+		return "text-classification"
+	case RelationClassification:
+		return "relation-classification"
+	default:
+		return fmt.Sprintf("TaskType(%d)", int(t))
+	}
+}
+
+// NoLabel marks an example whose gold label is unavailable (the Spouse
+// train split, mirroring WRENCH).
+const NoLabel = -1
+
+// NoDefaultClass marks a dataset without the paper's default-class
+// mechanism (Section 3.6).
+const NoDefaultClass = -1
+
+// Example is one instance of a dataset split.
+type Example struct {
+	// ID is the example's index within its split.
+	ID int
+	// Text is the raw passage.
+	Text string
+	// Tokens caches textproc.Tokenize(Text). Generators always populate
+	// it; loaders must call EnsureTokens.
+	Tokens []string
+	// Label is the gold class, or NoLabel when unknown.
+	Label int
+	// Entity1/Entity2 name the target pair for relation tasks ("" for
+	// text classification).
+	Entity1, Entity2 string
+	// E1Pos/E2Pos are token indices of the first mention of each target
+	// entity, or -1 when absent. Entity-aware keyword LFs use them to
+	// check that a relation phrase attaches to the target pair rather
+	// than to a distractor pair elsewhere in the passage.
+	E1Pos, E2Pos int
+}
+
+// EnsureTokens populates Tokens if empty.
+func (e *Example) EnsureTokens() {
+	if e.Tokens == nil {
+		e.Tokens = textproc.Tokenize(e.Text)
+	}
+}
+
+// Dataset bundles the three splits and task metadata.
+type Dataset struct {
+	// Name is the registry key, e.g. "youtube".
+	Name string
+	// Task is the classification flavour.
+	Task TaskType
+	// ClassNames maps class index to a human-readable name.
+	ClassNames []string
+	// DefaultClass is the class assigned to instances not covered by any
+	// LF before end-model training (paper §3.6), or NoDefaultClass.
+	DefaultClass int
+	// Imbalanced marks datasets whose end-model metric is binary F1 of
+	// class 1 (SMS, Spouse) rather than accuracy.
+	Imbalanced bool
+	// TrainLabeled reports whether train gold labels exist. When false
+	// (Spouse), LF-accuracy statistics on the train split are undefined
+	// and reported as "-", as in the paper.
+	TrainLabeled bool
+	// Train, Valid, Test are the splits. Valid is the small labeled set
+	// used for in-context examples and LF accuracy filtering.
+	Train, Valid, Test []*Example
+	// Signal is the generator's ground-truth keyword table. It stands in
+	// for the world knowledge a real LLM has about the domain (which
+	// words signal spam, positive sentiment, ...). Only the simulated
+	// LLM and the expert baselines may consult it; the DataSculpt
+	// pipeline itself never does.
+	Signal *SignalTable
+	// TaskDescription is the dataset-specific instruction text that the
+	// prompt templates interpolate (underlined parts of Figure 2).
+	TaskDescription string
+	// InstanceNoun names what one instance is ("movie review", "comment
+	// for a video", ...), used in prompt templates.
+	InstanceNoun string
+}
+
+// NumClasses returns the cardinality of the label space.
+func (d *Dataset) NumClasses() int { return len(d.ClassNames) }
+
+// MetricName returns "F1" for imbalanced datasets and "accuracy"
+// otherwise, matching the EM Acc/F1 row of Table 2.
+func (d *Dataset) MetricName() string {
+	if d.Imbalanced {
+		return "F1"
+	}
+	return "accuracy"
+}
+
+// Labels extracts gold labels from a split.
+func Labels(split []*Example) []int {
+	out := make([]int, len(split))
+	for i, e := range split {
+		out[i] = e.Label
+	}
+	return out
+}
+
+// Texts extracts raw texts from a split.
+func Texts(split []*Example) []string {
+	out := make([]string, len(split))
+	for i, e := range split {
+		out[i] = e.Text
+	}
+	return out
+}
+
+// TokenCorpus extracts cached token slices from a split.
+func TokenCorpus(split []*Example) [][]string {
+	out := make([][]string, len(split))
+	for i, e := range split {
+		e.EnsureTokens()
+		out[i] = e.Tokens
+	}
+	return out
+}
+
+// FeatureWindow is how many tokens beyond the target entity span
+// contribute to an example's feature representation on relation tasks.
+const FeatureWindow = 4
+
+// FeatureTokens returns the tokens the feature extractor should see. For
+// text classification that is the whole passage; for relation
+// classification it is the span around the target entity pair — the
+// standard entity-marking trick of BERT relation extractors, without
+// which a bag-of-words model cannot tell a relation phrase attached to
+// the target pair from the same phrase attached to a distractor pair
+// elsewhere in the passage.
+func (e *Example) FeatureTokens() []string {
+	e.EnsureTokens()
+	if e.E1Pos < 0 || e.E2Pos < 0 {
+		return e.Tokens
+	}
+	lo, hi := e.E1Pos, e.E2Pos
+	if lo > hi {
+		lo, hi = hi, lo
+	}
+	lo -= FeatureWindow
+	if lo < 0 {
+		lo = 0
+	}
+	hi += 2 + FeatureWindow // entity mentions are two tokens each
+	if hi > len(e.Tokens) {
+		hi = len(e.Tokens)
+	}
+	return e.Tokens[lo:hi]
+}
+
+// FeatureCorpus extracts FeatureTokens from a split (the corpus the
+// featurizer is fitted on and transforms).
+func FeatureCorpus(split []*Example) [][]string {
+	out := make([][]string, len(split))
+	for i, e := range split {
+		out[i] = e.FeatureTokens()
+	}
+	return out
+}
+
+// Validate checks structural invariants of the dataset: non-empty splits,
+// labels within range (or NoLabel where permitted), populated tokens and
+// entity positions for relation tasks. Experiments call it after loading.
+func (d *Dataset) Validate() error {
+	if d.NumClasses() < 2 {
+		return fmt.Errorf("dataset %s: need >=2 classes, got %d", d.Name, d.NumClasses())
+	}
+	if len(d.Train) == 0 || len(d.Valid) == 0 || len(d.Test) == 0 {
+		return fmt.Errorf("dataset %s: empty split (train=%d valid=%d test=%d)",
+			d.Name, len(d.Train), len(d.Valid), len(d.Test))
+	}
+	if d.DefaultClass != NoDefaultClass && (d.DefaultClass < 0 || d.DefaultClass >= d.NumClasses()) {
+		return fmt.Errorf("dataset %s: default class %d out of range", d.Name, d.DefaultClass)
+	}
+	check := func(split string, exs []*Example, labeled bool) error {
+		for i, e := range exs {
+			if e == nil {
+				return fmt.Errorf("dataset %s: %s[%d] is nil", d.Name, split, i)
+			}
+			if len(e.Tokens) == 0 {
+				return fmt.Errorf("dataset %s: %s[%d] has no tokens", d.Name, split, i)
+			}
+			if labeled {
+				if e.Label < 0 || e.Label >= d.NumClasses() {
+					return fmt.Errorf("dataset %s: %s[%d] label %d out of range", d.Name, split, i, e.Label)
+				}
+			} else if e.Label != NoLabel {
+				return fmt.Errorf("dataset %s: %s[%d] should be unlabeled, has %d", d.Name, split, i, e.Label)
+			}
+			if d.Task == RelationClassification {
+				if e.Entity1 == "" || e.Entity2 == "" {
+					return fmt.Errorf("dataset %s: %s[%d] missing entities", d.Name, split, i)
+				}
+			}
+		}
+		return nil
+	}
+	if err := check("train", d.Train, d.TrainLabeled); err != nil {
+		return err
+	}
+	if err := check("valid", d.Valid, true); err != nil {
+		return err
+	}
+	return check("test", d.Test, true)
+}

@@ -1,0 +1,65 @@
+package dataset
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// TestGeneratorInvariantsProperty exercises the generator over random
+// seeds and scales and asserts structural invariants for every dataset.
+func TestGeneratorInvariantsProperty(t *testing.T) {
+	names := Names()
+	prop := func(seed int64, pick uint8, scaleRaw uint8) bool {
+		name := names[int(pick)%len(names)]
+		scale := 0.02 + float64(scaleRaw%10)/100 // 0.02 .. 0.11
+		d, err := Load(name, seed, scale)
+		if err != nil {
+			t.Logf("Load(%s, %d, %v): %v", name, seed, scale, err)
+			return false
+		}
+		if err := d.Validate(); err != nil {
+			t.Logf("%v", err)
+			return false
+		}
+		// labels in the labeled splits stay in range; priors roughly
+		// respected (every class appears in valid)
+		seen := make([]bool, d.NumClasses())
+		for _, e := range d.Valid {
+			seen[e.Label] = true
+		}
+		for c, ok := range seen {
+			if !ok && len(d.Valid) >= 10*d.NumClasses() {
+				t.Logf("%s: class %d absent from %d-example valid split", name, c, len(d.Valid))
+				return false
+			}
+		}
+		// every signal phrase is a valid 1-3 gram of lowercase tokens
+		for c := 0; c < d.NumClasses(); c++ {
+			for _, sig := range d.Signal.Class(c) {
+				if sig.Phrase == "" || sig.Strength <= 0 || sig.Strength > 1 || sig.Weight <= 0 {
+					t.Logf("%s: bad signal %+v", name, sig)
+					return false
+				}
+			}
+		}
+		// feature tokens are always a sub-slice of tokens
+		for _, e := range d.Train[:min(10, len(d.Train))] {
+			ft := e.FeatureTokens()
+			if len(ft) == 0 || len(ft) > len(e.Tokens) {
+				t.Logf("%s: feature tokens %d of %d", name, len(ft), len(e.Tokens))
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,72 @@
+package dataset
+
+import (
+	"fmt"
+	"sort"
+)
+
+// specFactories maps dataset names to their spec constructors. The order
+// of Names() follows Table 1 of the paper.
+var specFactories = map[string]func() *Spec{
+	"youtube": YoutubeSpec,
+	"sms":     SMSSpec,
+	"imdb":    IMDBSpec,
+	"yelp":    YelpSpec,
+	"agnews":  AgnewsSpec,
+	"spouse":  SpouseSpec,
+	// bonus dataset beyond the paper's six (kept out of paperOrder so the
+	// reproduced tables stay comparable)
+	"trec": TRECSpec,
+}
+
+// paperOrder is the dataset ordering used in every table of the paper.
+var paperOrder = []string{"youtube", "sms", "imdb", "yelp", "agnews", "spouse"}
+
+// PaperNames returns the paper's canonical six datasets in table order.
+func PaperNames() []string { return append([]string(nil), paperOrder...) }
+
+// Names returns all registered dataset names: the paper's six in table
+// order, then any extras alphabetically.
+func Names() []string {
+	out := append([]string(nil), paperOrder...)
+	// Defensive: include any extra registrations alphabetically after the
+	// canonical six.
+	var extra []string
+	for name := range specFactories {
+		found := false
+		for _, p := range paperOrder {
+			if p == name {
+				found = true
+				break
+			}
+		}
+		if !found {
+			extra = append(extra, name)
+		}
+	}
+	sort.Strings(extra)
+	return append(out, extra...)
+}
+
+// SpecFor returns a fresh Spec for the named dataset.
+func SpecFor(name string) (*Spec, error) {
+	f, ok := specFactories[name]
+	if !ok {
+		return nil, fmt.Errorf("dataset: unknown name %q (have %v)", name, Names())
+	}
+	return f(), nil
+}
+
+// Load generates the named dataset at the given seed and scale. Scale 1
+// reproduces the paper's Table 1 split sizes.
+func Load(name string, seed int64, scale float64) (*Dataset, error) {
+	spec, err := SpecFor(name)
+	if err != nil {
+		return nil, err
+	}
+	d, err := spec.Generate(seed, scale)
+	if err != nil {
+		return nil, fmt.Errorf("dataset %s: %w", name, err)
+	}
+	return d, nil
+}

@@ -1,0 +1,107 @@
+package dataset
+
+import (
+	"fmt"
+	"sort"
+)
+
+// KeywordSignal records the generator's ground truth about one indicative
+// phrase: which class it signals, how precisely, and how frequently it is
+// used. The table doubles as the "world knowledge" of the simulated LLM —
+// a real LLM knows that "subscribe" signals YouTube comment spam; here
+// that knowledge is explicit and perturbable.
+type KeywordSignal struct {
+	// Phrase is the canonical space-joined n-gram (1-3 tokens).
+	Phrase string
+	// Class is the signalled class index.
+	Class int
+	// Strength in (0,1] is the design precision: strong phrases almost
+	// never appear in other classes, weak ones leak. It feeds both the
+	// generator's cross-class contamination and the expert baseline's
+	// keyword ranking.
+	Strength float64
+	// Weight is the relative within-class usage frequency. Common
+	// phrases (high weight) yield high-coverage LFs, the kind human
+	// experts picked for the WRENCH benchmark.
+	Weight float64
+}
+
+// SignalTable indexes keyword signals by phrase and by class.
+type SignalTable struct {
+	byPhrase map[string]KeywordSignal
+	byClass  [][]KeywordSignal
+}
+
+// NewSignalTable builds a table over k classes from the given signals.
+// Duplicate phrases or out-of-range classes are rejected so generator
+// specs fail loudly at construction time.
+func NewSignalTable(k int, signals []KeywordSignal) (*SignalTable, error) {
+	t := &SignalTable{
+		byPhrase: make(map[string]KeywordSignal, len(signals)),
+		byClass:  make([][]KeywordSignal, k),
+	}
+	for _, s := range signals {
+		if s.Phrase == "" {
+			return nil, fmt.Errorf("signal table: empty phrase")
+		}
+		if s.Class < 0 || s.Class >= k {
+			return nil, fmt.Errorf("signal table: phrase %q class %d out of range [0,%d)", s.Phrase, s.Class, k)
+		}
+		if s.Strength <= 0 || s.Strength > 1 {
+			return nil, fmt.Errorf("signal table: phrase %q strength %v outside (0,1]", s.Phrase, s.Strength)
+		}
+		if s.Weight <= 0 {
+			return nil, fmt.Errorf("signal table: phrase %q non-positive weight", s.Phrase)
+		}
+		if _, dup := t.byPhrase[s.Phrase]; dup {
+			return nil, fmt.Errorf("signal table: duplicate phrase %q", s.Phrase)
+		}
+		t.byPhrase[s.Phrase] = s
+		t.byClass[s.Class] = append(t.byClass[s.Class], s)
+	}
+	for c, list := range t.byClass {
+		if len(list) == 0 {
+			return nil, fmt.Errorf("signal table: class %d has no signals", c)
+		}
+		sort.Slice(list, func(i, j int) bool { return list[i].Phrase < list[j].Phrase })
+	}
+	return t, nil
+}
+
+// Lookup returns the signal for a canonical phrase, if any.
+func (t *SignalTable) Lookup(phrase string) (KeywordSignal, bool) {
+	s, ok := t.byPhrase[phrase]
+	return s, ok
+}
+
+// Class returns all signals of one class, sorted by phrase for
+// deterministic iteration.
+func (t *SignalTable) Class(c int) []KeywordSignal {
+	if c < 0 || c >= len(t.byClass) {
+		return nil
+	}
+	return t.byClass[c]
+}
+
+// NumClasses returns the class cardinality of the table.
+func (t *SignalTable) NumClasses() int { return len(t.byClass) }
+
+// Size returns the total number of signals.
+func (t *SignalTable) Size() int { return len(t.byPhrase) }
+
+// TopByWeight returns the n highest-weight signals of a class (ties broken
+// by phrase), the phrases a human expert would reach for first. The WRENCH
+// expert baseline uses it to assemble its hand-designed LF sets.
+func (t *SignalTable) TopByWeight(c, n int) []KeywordSignal {
+	list := append([]KeywordSignal(nil), t.Class(c)...)
+	sort.Slice(list, func(i, j int) bool {
+		if list[i].Weight != list[j].Weight {
+			return list[i].Weight > list[j].Weight
+		}
+		return list[i].Phrase < list[j].Phrase
+	})
+	if n > len(list) {
+		n = len(list)
+	}
+	return list[:n]
+}

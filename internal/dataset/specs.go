@@ -1,0 +1,565 @@
+package dataset
+
+// The six dataset specs below mirror the WRENCH corpora of Table 1. Split
+// sizes are exact; keyword pools, priors, document lengths and noise knobs
+// are calibrated (see calibration_test.go) so that LF accuracy, coverage
+// and end-model metrics land in the bands the paper reports.
+
+// pool converts a flat phrase list into WeightedPhrases with a graded
+// strength/weight mix: roughly 20% common+strong phrases (the ones human
+// experts pick — high coverage, high precision), 50% mid, 30% rare+weak.
+// Assignment is deterministic by index so specs are reproducible.
+func pool(items ...string) []WeightedPhrase {
+	seen := make(map[string]struct{}, len(items))
+	deduped := make([]string, 0, len(items))
+	for _, p := range items {
+		if _, dup := seen[p]; dup {
+			continue
+		}
+		seen[p] = struct{}{}
+		deduped = append(deduped, p)
+	}
+	items = deduped
+	out := make([]WeightedPhrase, 0, len(items))
+	for i, p := range items {
+		var w, s float64
+		switch i % 10 {
+		case 0, 5:
+			w, s = 3.0, 0.95 // common and strong
+		case 1, 3, 6, 8:
+			w, s = 1.0, 0.82
+		case 2, 7:
+			w, s = 0.8, 0.72
+		default:
+			w, s = 0.6, 0.60 // rare and weak
+		}
+		out = append(out, WeightedPhrase{Phrase: p, Weight: w, Strength: s})
+	}
+	return out
+}
+
+// combine builds bigram phrases "head tail" cycling through both lists
+// until n phrases are produced. It lets specs assemble large topical pools
+// (Agnews needs ~80 per class) from compact word lists.
+func combine(heads, tails []string, n int) []string {
+	out := make([]string, 0, n)
+	for i := 0; len(out) < n; i++ {
+		h := heads[i%len(heads)]
+		t := tails[(i+i/len(heads))%len(tails)]
+		out = append(out, h+" "+t)
+	}
+	return out
+}
+
+// YoutubeSpec reproduces the Youtube comment-spam dataset
+// (Alberto et al. 2015): 1586/120/250, 2 balanced classes, short comments.
+func YoutubeSpec() *Spec {
+	return &Spec{
+		Name: "youtube",
+		Task: TextClassification,
+		Classes: []ClassSpec{
+			{
+				Name: "ham",
+				Keywords: pool(
+					"love this song", "amazing", "best song", "catchy",
+					"beautiful voice", "awesome", "great video", "talented",
+					"masterpiece", "classic", "listening", "favorite",
+					"lyrics", "chorus", "melody", "on repeat", "gives me chills",
+					"childhood", "memories", "legend", "never gets old",
+					"still listening", "vocals", "beat", "soundtrack",
+					"this tune", "goosebumps", "brilliant song", "underrated",
+					"love her voice", "love his voice", "so good", "addicted",
+					"cant stop listening", "perfect song", "timeless",
+					"my jam", "banger", "dance to this", "feel good",
+					"beautiful lyrics", "music taste", "harmony", "acoustic",
+					"cover version", "love the beat", "great chorus",
+					"best verse", "favorite remix", "amazing duet",
+					"love the rhythm", "great intro", "best bridge",
+					"favorite album", "amazing vocals", "love the outro",
+					"great harmony", "best hook", "stunning performance",
+					"pure talent", "musical genius", "instant favorite",
+					"repeat forever", "chills every time", "lyrics hit hard",
+					"melody of dreams",
+				),
+				Topics: []string{
+					"song", "music", "video", "singer", "band", "album",
+					"listen", "play", "sound", "radio", "concert", "tune",
+				},
+			},
+			{
+				Name: "spam",
+				Keywords: pool(
+					"check out", "subscribe", "my channel", "click here",
+					"free gift", "visit my", "follow me", "make money",
+					"giveaway", "win a", "gift card", "promo code",
+					"check my page", "new video up", "sub for sub",
+					"link below", "click the link", "earn cash",
+					"work from home", "get followers", "free iphone",
+					"my new single", "plz subscribe", "spam", "bot",
+					"advertisement", "buy now", "discount code", "cheap",
+					"limited offer", "visit website", "download free",
+					"hack", "generator", "free robux", "get rich",
+					"instagram page", "follow back", "share this",
+					"like and subscribe", "comment below for", "shoutout",
+					"watch my video", "view my profile", "join now",
+					"free followers", "win cash", "cheap subs", "instant prize",
+					"easy money", "free views", "win an iphone", "cheap likes",
+					"instant gift", "easy cash", "free subs", "win followers",
+					"claim your gift", "earn from home", "message me now",
+					"check the description", "click my name", "visit the site",
+					"promo inside", "use my code",
+				),
+				Topics: []string{
+					"channel", "page", "profile", "account", "views",
+					"subscribers", "likes", "followers", "promotion", "offer",
+				},
+			},
+		},
+		Priors:          []float64{0.51, 0.49},
+		TrainSize:       1586,
+		ValidSize:       120,
+		TestSize:        250,
+		MeanLen:         14,
+		StdLen:          6,
+		KeywordRate:     3.0,
+		CrossNoise:      0.18,
+		HardFraction:    0.10,
+		TopicRate:       0.16,
+		DefaultClass:    NoDefaultClass,
+		Imbalanced:      false,
+		TrainLabeled:    true,
+		Filler:          []string{"watch", "video", "youtube", "comment", "first", "viewer"},
+		TaskDescription: "a spam detection task. In each iteration, the user will provide a comment for a video. Please decide whether the comment is a spam. (0 for non-spam, 1 for spam)",
+		InstanceNoun:    "comment for a video",
+	}
+}
+
+// SMSSpec reproduces the SMS spam dataset (Almeida et al. 2011):
+// 4571/500/500, imbalanced (~13% spam), F1-reported.
+func SMSSpec() *Spec {
+	return &Spec{
+		Name: "sms",
+		Task: TextClassification,
+		Classes: []ClassSpec{
+			{
+				Name: "ham",
+				Keywords: pool(append([]string{
+					"see you", "tonight", "dinner", "meet you", "lol",
+					"gonna", "sorry", "tomorrow", "home soon", "pick you up",
+					"love you", "miss you", "good night", "good morning",
+					"on my way", "call me later", "talk later", "running late",
+					"where are you", "be there", "let me know", "no worries",
+					"take care", "sleep well", "coffee", "lunch", "movie night",
+					"happy birthday", "thanks dear", "see ya", "whats up",
+					"come over", "leaving now", "almost there", "stuck in traffic",
+					"meeting ended", "class finished", "give me", "ttyl",
+					"bring the", "forgot my", "at the station", "train delayed",
+					"bus stop", "feeling sick", "doctor appointment",
+					"mom said", "dad called", "grandma", "cousin",
+					"weekend plans", "holiday", "exam tomorrow", "homework done",
+					"library", "gym tonight", "jogging", "groceries",
+					"cooking dinner", "recipe"},
+					combine(
+						[]string{"meet", "call", "text", "visit", "join", "ask", "tell", "remind"},
+						[]string{"mum", "dad", "auntie", "sis", "bro", "mate", "granny", "uncle"},
+						50)...)...),
+				Topics: []string{
+					"today", "later", "soon", "really", "maybe", "fine",
+					"nice", "went", "going", "come", "wait", "sure",
+				},
+			},
+			{
+				Name: "spam",
+				Keywords: pool(append([]string{
+					"winner", "claim", "prize", "free entry", "txt",
+					"call now", "urgent", "cash prize", "guaranteed",
+					"ringtone", "mobile offer", "text stop", "subscription",
+					"bonus", "voucher", "congratulations you", "selected to receive",
+					"click link", "claim now", "award waiting", "free msg",
+					"reply yes", "charged", "per week", "unsubscribe",
+					"lucky number", "draw", "entry code", "free tones",
+					"camcorder", "nokia", "latest phone", "network operator",
+					"account statement", "loan approved", "credit offer",
+					"lowest rates", "apply now", "no deposit", "casino",
+					"jackpot", "betting", "exclusive deal", "limited time",
+					"act now", "call this number", "premium rate", "sms alert",
+					"service message", "renew now", "expires today",
+					"valid until", "redeem", "freephone", "helpline",
+					"customer care wins", "identity code", "pin number",
+					"dating service", "adult content", "hot singles"},
+					combine(
+						[]string{"mega", "instant", "exclusive", "special", "weekly", "double", "extra", "secret"},
+						[]string{"jackpot", "reward", "giveaway", "coupon", "discount", "rebate", "payout", "upgrade"},
+						50)...)...),
+				Topics: []string{
+					"mobile", "phone", "message", "number", "contact",
+					"customer", "service", "offer", "deal", "win",
+				},
+			},
+		},
+		Priors:          []float64{0.866, 0.134},
+		TrainSize:       4571,
+		ValidSize:       500,
+		TestSize:        500,
+		MeanLen:         16,
+		StdLen:          8,
+		KeywordRate:     3.0,
+		CrossNoise:      0.015,
+		HardFraction:    0.22,
+		TopicRate:       0.08,
+		DefaultClass:    NoDefaultClass,
+		Imbalanced:      true,
+		TrainLabeled:    true,
+		Filler:          []string{"text", "send", "got", "know", "think", "want", "need", "still"},
+		TaskDescription: "a spam detection task. In each iteration, the user will provide an SMS text message. Please decide whether the message is a spam. (0 for ham, 1 for spam)",
+		InstanceNoun:    "SMS text message",
+	}
+}
+
+// sentimentIntensifiers combine with base adjectives into bigram phrases,
+// growing the sentiment pools toward real review vocabulary size: the
+// paper's IMDB/Yelp runs discover 200-330 distinct keywords per run,
+// which needs pools far beyond a hand list of adjectives.
+var sentimentIntensifiers = []string{
+	"truly", "absolutely", "really", "utterly", "simply", "totally",
+	"genuinely", "thoroughly", "incredibly", "exceptionally",
+}
+
+var sentimentPositiveBases = []string{
+	"wonderful", "brilliant", "superb", "delightful", "captivating",
+	"charming", "hilarious", "gripping", "stunning", "polished",
+	"engaging", "refreshing", "satisfying", "compelling", "moving",
+}
+
+var sentimentNegativeBases = []string{
+	"terrible", "awful", "boring", "dreadful", "horrible", "tedious",
+	"lifeless", "forgettable", "shallow", "sloppy", "dull", "bland",
+	"frustrating", "grating", "pointless",
+}
+
+var sentimentPositive = []string{
+	"wonderful", "brilliant", "excellent", "fantastic", "superb",
+	"delightful", "captivating", "masterful", "heartwarming", "charming",
+	"hilarious", "gripping", "stunning", "remarkable", "flawless",
+	"beautifully done", "highly recommend", "a masterpiece", "must see",
+	"loved every minute", "top notch", "truly great", "incredible",
+	"outstanding", "impressive", "memorable", "engaging", "refreshing",
+	"satisfying", "compelling", "powerful performance", "great cast",
+	"perfect pacing", "oscar worthy", "instant classic", "pure joy",
+	"exceeded expectations", "thoroughly enjoyed", "five stars",
+	"best ever", "absolutely loved", "breath of fresh",
+	"beautifully shot", "clever writing", "strong performances",
+	"emotionally resonant", "laugh out loud", "crowd pleaser",
+	"worth watching", "pleasant surprise", "rich characters",
+	"tight script", "visually gorgeous", "soars", "triumph",
+	"dazzling", "irresistible", "exquisite", "phenomenal", "sublime",
+	"magnificent", "riveting", "enchanting", "uplifting", "poignant",
+	"well crafted", "well acted", "well written", "smartly directed",
+	"never boring",
+}
+
+var sentimentNegative = []string{
+	"terrible", "awful", "boring", "dreadful", "horrible",
+	"waste of time", "disappointing", "mediocre", "predictable",
+	"poorly written", "bad acting", "painful to watch", "fell flat",
+	"uninspired", "tedious", "lifeless", "forgettable", "a mess",
+	"cringe worthy", "laughably bad", "avoid this", "worst ever",
+	"total garbage", "utterly pointless", "snooze fest", "overrated",
+	"cliched", "shallow", "incoherent", "sloppy", "cheap looking",
+	"wooden dialogue", "no chemistry", "plot holes", "falls apart",
+	"drags on", "makes no sense", "badly edited", "lame", "dull",
+	"unwatchable", "insulting", "half baked", "amateurish", "clumsy",
+	"pretentious", "soulless", "grating", "annoying characters",
+	"weak script", "stale", "bland", "frustrating", "underwhelming",
+	"skip it", "one star", "demanded a refund", "regret watching",
+	"barely finished", "fast forwarded", "cash grab", "lazy writing",
+	"awkward pacing", "flat jokes", "miscast", "overacted",
+	"ridiculous plot", "nonsensical ending", "zero tension",
+	"instantly forgettable",
+}
+
+// IMDBSpec reproduces the IMDB movie-review sentiment dataset (Maas et
+// al. 2011): 20000/2500/2500, 2 balanced classes, long reviews.
+func IMDBSpec() *Spec {
+	return &Spec{
+		Name: "imdb",
+		Task: TextClassification,
+		Classes: []ClassSpec{
+			{
+				Name: "negative",
+				Keywords: pool(append(append([]string{}, sentimentNegative...),
+					combine(sentimentIntensifiers, sentimentNegativeBases, 90)...)...),
+				Topics: []string{
+					"sequel", "remake", "budget", "trailer", "runtime",
+					"script", "editing", "dialogue",
+				},
+			},
+			{
+				Name: "positive",
+				Keywords: pool(append(append([]string{}, sentimentPositive...),
+					combine(sentimentIntensifiers, sentimentPositiveBases, 90)...)...),
+				Topics: []string{
+					"director", "performance", "cinematography", "scene",
+					"character", "soundtrack", "screenplay", "ending",
+				},
+			},
+		},
+		Priors:       []float64{0.5, 0.5},
+		TrainSize:    20000,
+		ValidSize:    2500,
+		TestSize:     2500,
+		MeanLen:      170,
+		StdLen:       50,
+		KeywordRate:  4.6,
+		CrossNoise:   0.26,
+		HardFraction: 0.07,
+		TopicRate:    0.05,
+		DefaultClass: NoDefaultClass,
+		Imbalanced:   false,
+		TrainLabeled: true,
+		Filler: []string{
+			"movie", "film", "actor", "actress", "watch", "plot",
+			"story", "screen", "role", "cast", "cinema", "genre",
+		},
+		TaskDescription: "a sentiment analysis task. In each iteration, the user will provide a movie review. Please decide whether the review is positive or negative. (0 for negative, 1 for positive)",
+		InstanceNoun:    "movie review",
+	}
+}
+
+// YelpSpec reproduces the Yelp review-sentiment dataset (Zhang et al.
+// 2015): 30400/3800/3800, 2 balanced classes, medium-length reviews.
+func YelpSpec() *Spec {
+	negative := append([]string{}, sentimentNegative[:40]...)
+	negative = append(negative,
+		"rude staff", "cold food", "overpriced", "long wait", "dirty",
+		"never coming back", "stale bread", "soggy fries", "tasteless",
+		"undercooked", "burnt", "slow service", "tiny portions",
+		"ripoff", "filthy tables", "unfriendly", "ignored us",
+		"wrong order", "food poisoning", "smelled bad", "greasy",
+		"watered down", "flavorless", "stingy", "health code",
+		"disgusting", "inedible", "rubbery", "lukewarm", "crowded and loud",
+	)
+	positive := append([]string{}, sentimentPositive[:40]...)
+	positive = append(positive,
+		"friendly staff", "delicious", "cozy atmosphere", "great value",
+		"fresh ingredients", "generous portions", "quick service",
+		"mouth watering", "hidden gem", "will be back", "tasty",
+		"attentive server", "clean and bright", "perfectly cooked",
+		"amazing brunch", "best pizza", "great happy hour", "juicy",
+		"crispy", "homemade", "authentic flavors", "melts in mouth",
+		"reasonable prices", "warm welcome", "lovely patio",
+		"fast friendly", "savory", "decadent dessert", "rich flavor",
+		"great cocktails",
+	)
+	negative = append(negative, combine(sentimentIntensifiers, sentimentNegativeBases, 70)...)
+	positive = append(positive, combine(sentimentIntensifiers, sentimentPositiveBases, 70)...)
+	return &Spec{
+		Name: "yelp",
+		Task: TextClassification,
+		Classes: []ClassSpec{
+			{
+				Name:     "negative",
+				Keywords: pool(negative...),
+				Topics: []string{
+					"wait", "manager", "bill", "refund", "complaint",
+					"order", "table", "minutes",
+				},
+			},
+			{
+				Name:     "positive",
+				Keywords: pool(positive...),
+				Topics: []string{
+					"menu", "chef", "dish", "flavor", "dessert",
+					"brunch", "patio", "server",
+				},
+			},
+		},
+		Priors:       []float64{0.5, 0.5},
+		TrainSize:    30400,
+		ValidSize:    3800,
+		TestSize:     3800,
+		MeanLen:      120,
+		StdLen:       40,
+		KeywordRate:  4.4,
+		CrossNoise:   0.22,
+		HardFraction: 0.08,
+		TopicRate:    0.05,
+		DefaultClass: NoDefaultClass,
+		Imbalanced:   false,
+		TrainLabeled: true,
+		Filler: []string{
+			"restaurant", "place", "food", "meal", "drink", "visit",
+			"staff", "price", "spot", "location", "kitchen",
+		},
+		TaskDescription: "a sentiment analysis task. In each iteration, the user will provide a restaurant review. Please decide whether the review is positive or negative. (0 for negative, 1 for positive)",
+		InstanceNoun:    "restaurant review",
+	}
+}
+
+// AgnewsSpec reproduces the AG News topic dataset (Zhang et al. 2015):
+// 96000/12000/12000, 4 balanced classes. Large per-class keyword pools
+// spread signal thin, reproducing the paper's very low per-LF coverage
+// (~0.003) and sub-0.5 total coverage on this dataset.
+func AgnewsSpec() *Spec {
+	world := append(combine(
+		[]string{"peace", "border", "ceasefire", "embassy", "treaty", "regime", "rebel", "refugee", "sanctions", "hostage"},
+		[]string{"talks", "dispute", "accord", "crisis", "agreement", "deal", "violation", "zone", "summit", "pact"},
+		95),
+		"minister", "parliament", "diplomat", "coup", "insurgency",
+		"militants", "warplanes", "troops deployed", "united nations",
+		"foreign ministry", "prime minister", "election fraud",
+		"humanitarian aid", "war crimes", "nuclear program",
+		"territorial waters", "annexation", "extradition", "asylum seekers",
+		"peacekeepers", "airstrike", "embargo", "communique", "envoy",
+		"separatists", "armistice", "detainees", "occupation forces",
+		"diplomatic ties", "state visit", "bilateral relations",
+		"cabinet reshuffle", "martial law", "curfew imposed",
+		"referendum", "constitutional court", "genocide tribunal",
+		"liberation front", "armed convoy", "displaced civilians",
+	)
+	sports := append(combine(
+		[]string{"championship", "playoff", "season", "league", "tournament", "quarterback", "striker", "coach", "roster", "transfer"},
+		[]string{"victory", "defeat", "opener", "finale", "clash", "standings", "title", "record", "upset", "rivalry"},
+		95),
+		"touchdown", "home run", "hat trick", "grand slam", "penalty kick",
+		"free agent", "draft pick", "world cup", "super bowl", "olympics",
+		"gold medal", "sprint", "marathon", "knockout", "heavyweight",
+		"innings", "wicket", "overtime thriller", "buzzer beater",
+		"shutout", "no hitter", "pole position", "grand prix",
+		"relegation", "semifinal", "locker room", "head coach fired",
+		"contract extension", "injured reserve", "all star",
+		"batting average", "goalkeeper", "midfielder", "power play",
+		"slam dunk", "triple double", "photo finish", "world champion",
+		"undefeated streak", "hall of fame",
+	)
+	business := append(combine(
+		[]string{"earnings", "profit", "merger", "shares", "stocks", "quarterly", "revenue", "dividend", "takeover", "ipo"},
+		[]string{"forecast", "surge", "slump", "outlook", "report", "growth", "decline", "rally", "target", "estimate"},
+		95),
+		"wall street", "federal reserve", "interest rates", "inflation",
+		"recession fears", "oil prices", "crude futures", "bankruptcy",
+		"layoffs announced", "hedge fund", "venture capital", "startup valuation",
+		"retail sales", "consumer spending", "trade deficit", "tariffs",
+		"antitrust probe", "shareholders meeting", "ceo resigns",
+		"stock buyback", "bond yields", "credit rating", "mortgage rates",
+		"housing market", "gross domestic", "market capitalization",
+		"acquisition deal", "restructuring plan", "cost cutting",
+		"supply chain", "holiday shopping", "price hike", "fiscal year",
+		"annual meeting", "insider trading", "securities fraud",
+		"pension fund", "currency exchange", "economic stimulus",
+		"balance sheet",
+	)
+	scitech := append(combine(
+		[]string{"software", "internet", "wireless", "satellite", "browser", "chip", "server", "spacecraft", "robot", "telescope"},
+		[]string{"launch", "upgrade", "release", "rollout", "flaw", "patch", "standard", "breakthrough", "prototype", "mission"},
+		95),
+		"scientists discovered", "researchers", "genome", "stem cells",
+		"clinical trial", "vaccine", "mars rover", "space station",
+		"solar panels", "broadband", "search engine", "operating system",
+		"open source", "security vulnerability", "data breach", "hackers",
+		"encryption", "semiconductor", "nanotechnology", "artificial intelligence",
+		"machine learning", "quantum computing", "fiber optic",
+		"video game console", "smartphone sales", "silicon valley",
+		"patent lawsuit", "beta version", "source code", "firmware",
+		"processor speed", "hard drive", "digital music", "file sharing",
+		"spam filter", "antivirus", "climate study", "fossil discovery",
+		"particle physics", "gene therapy",
+	)
+	return &Spec{
+		Name: "agnews",
+		Task: TextClassification,
+		Classes: []ClassSpec{
+			{Name: "world", Keywords: pool(world...), Topics: []string{"government", "capital", "region", "crisis", "officials"}},
+			{Name: "sports", Keywords: pool(sports...), Topics: []string{"game", "match", "fans", "stadium", "score"}},
+			{Name: "business", Keywords: pool(business...), Topics: []string{"investors", "analysts", "quarter", "percent", "billion"}},
+			{Name: "scitech", Keywords: pool(scitech...), Topics: []string{"users", "devices", "study", "lab", "technology"}},
+		},
+		Priors:       []float64{0.25, 0.25, 0.25, 0.25},
+		TrainSize:    96000,
+		ValidSize:    12000,
+		TestSize:     12000,
+		MeanLen:      38,
+		StdLen:       10,
+		KeywordRate:  3.8,
+		CrossNoise:   0.12,
+		HardFraction: 0.30,
+		TopicRate:    0.08,
+		DefaultClass: NoDefaultClass,
+		Imbalanced:   false,
+		TrainLabeled: true,
+		Filler: []string{
+			"reuters", "reported", "announced", "statement", "yesterday",
+			"sources", "press", "update", "agency", "official",
+		},
+		TaskDescription: "a news topic classification task. In each iteration, the user will provide a news article snippet. Please classify it into one of four topics. (0 for world, 1 for sports, 2 for business, 3 for sci/tech)",
+		InstanceNoun:    "news article snippet",
+	}
+}
+
+// SpouseSpec reproduces the Spouse relation-extraction dataset (Corney et
+// al. 2016): 22254/2811/2701, heavily imbalanced (few positive pairs),
+// unlabeled train split, F1-reported, default class "not spouses".
+func SpouseSpec() *Spec {
+	return &Spec{
+		Name: "spouse",
+		Task: RelationClassification,
+		Classes: []ClassSpec{
+			{
+				Name: "not-spouses",
+				Keywords: pool(
+					"brother of", "sister of", "colleague", "business partner",
+					"met with", "interviewed", "succeeded", "father of",
+					"daughter of", "worked with", "teammate of", "rival of",
+					"boss of", "president of", "friend of", "cousin of",
+					"mentor of", "lawyer for", "spokesman for", "aide to",
+					"deputy of", "coauthor with", "costar with", "neighbor of",
+					"classmate of", "advisor to", "assistant to", "critic of",
+					"opponent of", "successor to", "predecessor of",
+					"negotiated with", "debated", "sued", "hired",
+					"appointed by", "nominated by", "campaigned with",
+					"shared stage with", "collaborated with",
+				),
+				Topics: []string{
+					"company", "campaign", "conference", "interview",
+					"meeting", "project", "committee",
+				},
+			},
+			{
+				Name: "spouses",
+				// A compact pool of common marriage phrases: real spouse
+				// mentions reuse the same few words ("married", "wife",
+				// "wedding"), which is what lets 50 queries discover most
+				// of the positive-class signal.
+				Keywords: pool(
+					"married", "wife of", "husband of", "wedding",
+					"spouse of", "newlyweds", "honeymoon with",
+					"marriage to", "tied the knot", "engaged to",
+					"wedded", "widow of", "remarried", "down the aisle",
+				),
+				Topics: []string{
+					"ceremony", "couple", "reception", "ring", "vows",
+				},
+			},
+		},
+		Priors:         []float64{0.915, 0.085},
+		TrainSize:      22254,
+		ValidSize:      2811,
+		TestSize:       2701,
+		MeanLen:        55,
+		StdLen:         15,
+		KeywordRate:    1.0,
+		CrossNoise:     0.01,
+		HardFraction:   0.28,
+		TopicRate:      0.05,
+		DefaultClass:   0,
+		Imbalanced:     true,
+		TrainLabeled:   false,
+		DistractorRate: 0.25,
+		Filler: []string{
+			"announced", "reported", "according", "sources", "press",
+			"told", "statement", "appeared", "attended", "spoke",
+		},
+		TaskDescription: "a relation classification task. In each iteration, the user will provide a news passage mentioning two people. Please decide whether the two target people are spouses. (0 for not spouses, 1 for spouses)",
+		InstanceNoun:    "news passage mentioning two people",
+	}
+}

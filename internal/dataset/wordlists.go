@@ -1,0 +1,89 @@
+package dataset
+
+// This file holds the shared vocabulary pools that the synthetic corpus
+// generators draw from. The pools are ordinary English words; what makes a
+// dataset is its Spec: per-class keyword pools with graded precision,
+// class-flavoured topic words, priors and length profiles (see specs.go).
+
+// backgroundWords is the domain-neutral filler vocabulary shared by every
+// generated dataset. None of these words carries class signal; specs must
+// not reuse them as keywords (buildDataset enforces this).
+var backgroundWords = []string{
+	"people", "time", "year", "way", "day", "man", "thing", "woman",
+	"life", "child", "world", "school", "state", "family", "student",
+	"group", "country", "problem", "hand", "part", "place", "case",
+	"week", "company", "system", "program", "question", "work", "number",
+	"night", "point", "home", "water", "room", "mother", "area", "money",
+	"story", "fact", "month", "lot", "right", "study", "book", "eye",
+	"job", "word", "business", "issue", "side", "kind", "head", "house",
+	"service", "friend", "father", "power", "hour", "game", "line",
+	"end", "member", "law", "car", "city", "community", "name",
+	"president", "team", "minute", "idea", "body", "information",
+	"back", "parent", "face", "others", "level", "office", "door",
+	"health", "person", "art", "war", "history", "party", "result",
+	"change", "morning", "reason", "research", "girl", "guy", "moment",
+	"air", "teacher", "force", "education", "foot", "boy", "age",
+	"policy", "process", "music", "market", "sense", "nation", "plan",
+	"college", "interest", "death", "experience", "effect", "use",
+	"class", "control", "care", "field", "development", "role", "effort",
+	"rate", "heart", "drug", "show", "leader", "light", "voice", "wife",
+	"whole", "police", "mind", "finally", "pull", "return", "free",
+	"military", "price", "report", "less", "according", "decision",
+	"explain", "son", "hope", "even", "develop", "view", "relationship",
+	"carry", "town", "road", "drive", "arm", "true", "federal", "break",
+	"better", "difference", "thank", "receive", "value", "building",
+	"action", "full", "model", "join", "season", "society", "tax",
+	"director", "early", "position", "player", "agree", "especially",
+	"record", "pick", "wear", "paper", "special", "space", "ground",
+	"form", "support", "event", "official", "whose", "matter", "everyone",
+	"center", "couple", "site", "project", "hit", "base", "activity",
+	"star", "table", "need", "court", "produce", "eat", "american",
+	"teach", "oil", "half", "situation", "easy", "cost", "industry",
+	"figure", "street", "image", "itself", "phone", "either", "data",
+	"cover", "quite", "picture", "clear", "practice", "piece", "land",
+	"recent", "describe", "product", "doctor", "wall", "patient",
+	"worker", "news", "test", "movie", "certain", "north", "personal",
+	"open", "simply", "third", "technology", "catch", "step", "baby",
+	"computer", "type", "attention", "draw", "film", "republican",
+	"tree", "source", "red", "nearly", "organization", "choose", "cause",
+	"hair", "century", "evidence", "window", "difficult", "listen",
+	"soon", "culture", "billion", "chance", "brother", "energy",
+	"period", "course", "summer", "realize", "hundred", "available",
+	"plant", "likely", "opportunity", "term", "short", "letter",
+	"condition", "choice", "single", "rule", "daughter", "administration",
+	"south", "husband", "congress", "floor", "campaign", "material",
+	"population", "call", "economy", "medical", "hospital", "church",
+	"close", "thousand", "risk", "current", "fire", "future", "wrong",
+	"involve", "defense", "anyone", "increase", "security", "behavior",
+	"prove", "hang", "entire", "rock", "design", "enough", "forget",
+	"since", "claim", "note", "remove", "manager", "help",
+}
+
+// firstNames and lastNames seed entity mentions for the Spouse relation
+// dataset. They never appear in any keyword pool.
+var firstNames = []string{
+	"james", "mary", "robert", "patricia", "john", "jennifer", "michael",
+	"linda", "david", "elizabeth", "william", "barbara", "richard",
+	"susan", "joseph", "jessica", "thomas", "sarah", "charles", "karen",
+	"christopher", "lisa", "daniel", "nancy", "matthew", "betty",
+	"anthony", "margaret", "mark", "sandra", "donald", "ashley",
+	"steven", "kimberly", "paul", "emily", "andrew", "donna", "joshua",
+	"michelle", "kenneth", "carol", "kevin", "amanda", "brian",
+	"dorothy", "george", "melissa", "timothy", "deborah", "ronald",
+	"stephanie", "edward", "rebecca", "jason", "sharon", "jeffrey",
+	"laura", "ryan", "cynthia", "jacob", "kathleen", "gary", "amy",
+	"nicholas", "angela", "eric", "shirley", "jonathan", "anna",
+}
+
+var lastNames = []string{
+	"smith", "johnson", "williams", "brown", "jones", "garcia",
+	"miller", "davis", "rodriguez", "martinez", "hernandez", "lopez",
+	"gonzalez", "wilson", "anderson", "taylor", "moore", "jackson",
+	"martin", "lee", "perez", "thompson", "white", "harris", "sanchez",
+	"clark", "ramirez", "lewis", "robinson", "walker", "young", "allen",
+	"king", "wright", "scott", "torres", "nguyen", "hill", "flores",
+	"green", "adams", "nelson", "baker", "hall", "rivera", "campbell",
+	"mitchell", "carter", "roberts", "gomez", "phillips", "evans",
+	"turner", "diaz", "parker", "cruz", "edwards", "collins", "reyes",
+	"stewart", "morris", "morales", "murphy", "cook", "rogers",
+}

@@ -1,0 +1,57 @@
+package endmodel
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+func TestModelJSONRoundTrip(t *testing.T) {
+	X, Y := gaussianBlobs(1, 500, 3, 64, 0.1)
+	m, err := Train(X, oneHot(Y, 3), nil, 3, 64, TrainConfig{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := json.Marshal(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back LogisticRegression
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Dim != m.Dim || back.K != m.K {
+		t.Fatalf("shape = %dx%d", back.K, back.Dim)
+	}
+	// identical predictions
+	origPred := m.Predict(X)
+	backPred := back.Predict(X)
+	for i := range origPred {
+		if origPred[i] != backPred[i] {
+			t.Fatalf("prediction %d differs after round trip", i)
+		}
+	}
+	origProba := m.PredictProba(X[0])
+	backProba := back.PredictProba(X[0])
+	for c := range origProba {
+		if origProba[c] != backProba[c] {
+			t.Fatal("probabilities differ after round trip")
+		}
+	}
+}
+
+func TestModelJSONValidation(t *testing.T) {
+	var m LogisticRegression
+	cases := []string{
+		`{"dim": 0, "k": 2, "bias": [0,0], "indices": [[],[]], "values": [[],[]]}`,
+		`{"dim": 4, "k": 1, "bias": [0], "indices": [[]], "values": [[]]}`,
+		`{"dim": 4, "k": 2, "bias": [0], "indices": [[],[]], "values": [[],[]]}`,
+		`{"dim": 4, "k": 2, "bias": [0,0], "indices": [[1],[]], "values": [[],[]]}`,
+		`{"dim": 4, "k": 2, "bias": [0,0], "indices": [[9],[]], "values": [[1],[]]}`,
+		`not json at all`,
+	}
+	for _, c := range cases {
+		if err := json.Unmarshal([]byte(c), &m); err == nil {
+			t.Errorf("accepted invalid model %q", c)
+		}
+	}
+}

@@ -1,0 +1,169 @@
+package experiment
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"datasculpt/internal/dataset"
+)
+
+// RenderTable1 prints the dataset statistics of Table 1 from the loaded
+// (or registry-declared) corpora.
+func RenderTable1(o Options) (string, error) {
+	o = o.normalized()
+	var b strings.Builder
+	fmt.Fprintf(&b, "Table 1: Datasets used in evaluation (scale %.2f)\n", o.Scale)
+	fmt.Fprintf(&b, "%-10s %-22s %7s %8s %8s %8s\n", "Dataset", "Task", "#Class", "#Train", "#Valid", "#Test")
+	for _, name := range o.Datasets {
+		d, err := dataset.Load(name, datasetSeed(1), o.Scale)
+		if err != nil {
+			return "", err
+		}
+		fmt.Fprintf(&b, "%-10s %-22s %7d %8d %8d %8d\n",
+			d.Name, d.Task, d.NumClasses(), len(d.Train), len(d.Valid), len(d.Test))
+	}
+	return b.String(), nil
+}
+
+// metricRow describes one metric block of a Table 2-style rendering.
+type metricRow struct {
+	label  string
+	metric func(Stats) (float64, bool)
+	format string
+}
+
+func tableMetrics() []metricRow {
+	return []metricRow{
+		{"#LFs", MetricNumLFs, "%.0f"},
+		{"LF Acc.", MetricLFAcc, "%.3f"},
+		{"LF Cov.", MetricLFCov, "%.3f"},
+		{"Total Cov.", MetricTotalCov, "%.3f"},
+		{"EM Acc/F1", MetricEM, "%.3f"},
+	}
+}
+
+// RenderGrid prints a grid in the paper's table layout: metric blocks,
+// one row per method, one column per dataset plus the AVG column.
+func RenderGrid(g *Grid) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", g.Title)
+	fmt.Fprintf(&b, "%-11s %-16s", "Metric", "Method")
+	for _, ds := range g.Datasets {
+		fmt.Fprintf(&b, " %8s", ds)
+	}
+	fmt.Fprintf(&b, " %8s\n", "AVG")
+	for _, mr := range tableMetrics() {
+		for _, method := range g.Methods {
+			fmt.Fprintf(&b, "%-11s %-16s", mr.label, method)
+			for _, ds := range g.Datasets {
+				s, ok := g.Get(method, ds)
+				if !ok {
+					fmt.Fprintf(&b, " %8s", "?")
+					continue
+				}
+				if v, defined := mr.metric(s); defined {
+					fmt.Fprintf(&b, " %8s", fmt.Sprintf(mr.format, v))
+				} else {
+					fmt.Fprintf(&b, " %8s", "-")
+				}
+			}
+			if avg, ok := g.Avg(method, mr.metric); ok {
+				fmt.Fprintf(&b, " %8s", fmt.Sprintf(mr.format, avg))
+			} else {
+				fmt.Fprintf(&b, " %8s", "-")
+			}
+			fmt.Fprintln(&b)
+		}
+		fmt.Fprintln(&b)
+	}
+	return b.String()
+}
+
+// RenderFigure renders a Figure 3/4-style comparison: per-method totals
+// across datasets as a log-scale ASCII bar chart. metric extracts the
+// per-cell quantity (tokens or dollars); unit labels the axis.
+func RenderFigure(title string, g *Grid, metric func(Stats) (float64, bool), unit string, format string) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", title)
+
+	totals := make([]float64, len(g.Methods))
+	maxTotal := 0.0
+	minPositive := math.Inf(1)
+	for i, method := range g.Methods {
+		var sum float64
+		for _, ds := range g.Datasets {
+			if s, ok := g.Get(method, ds); ok {
+				if v, defined := metric(s); defined {
+					sum += v
+				}
+			}
+		}
+		totals[i] = sum
+		if sum > maxTotal {
+			maxTotal = sum
+		}
+		if sum > 0 && sum < minPositive {
+			minPositive = sum
+		}
+	}
+
+	const width = 46
+	for i, method := range g.Methods {
+		bar := 0
+		if totals[i] > 0 && maxTotal > 0 {
+			// log scale from minPositive/10 to maxTotal
+			lo := math.Log10(minPositive / 10)
+			hi := math.Log10(maxTotal)
+			if hi > lo {
+				bar = int(math.Round((math.Log10(totals[i]) - lo) / (hi - lo) * width))
+			}
+			if bar < 1 {
+				bar = 1
+			}
+		}
+		fmt.Fprintf(&b, "%-16s %s %s %s\n", method,
+			strings.Repeat("#", bar)+strings.Repeat(" ", width-bar),
+			fmt.Sprintf(format, totals[i]), unit)
+	}
+	fmt.Fprintf(&b, "(log scale; totals across %d datasets)\n", len(g.Datasets))
+	return b.String()
+}
+
+// RenderFigure3 prints the token-usage comparison of Figure 3.
+func RenderFigure3(g *Grid) string {
+	return RenderFigure("Figure 3: Token usage for synthesizing LFs", g, MetricTokens, "tokens", "%12.0f")
+}
+
+// RenderFigure4 prints the API-cost comparison of Figure 4.
+func RenderFigure4(g *Grid) string {
+	return RenderFigure("Figure 4: API cost for synthesizing LFs", g, MetricCost, "USD", "%12.4f")
+}
+
+// RenderPaperComparison prints our AVG column next to the paper's AVG for
+// each metric, plus the headline shape checks of DESIGN.md §4.
+func RenderPaperComparison(g *Grid, paper map[string]PaperAverages) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Paper vs. reproduction (AVG over datasets)\n")
+	fmt.Fprintf(&b, "%-11s %-16s %10s %10s\n", "Metric", "Method", "paper", "ours")
+	for _, mr := range tableMetrics() {
+		for _, method := range g.Methods {
+			ref, ok := paper[method]
+			if !ok {
+				continue
+			}
+			refVal, refOK := ref.Value(mr.label)
+			ourVal, ourOK := g.Avg(method, mr.metric)
+			paperStr, oursStr := "-", "-"
+			if refOK {
+				paperStr = fmt.Sprintf(mr.format, refVal)
+			}
+			if ourOK {
+				oursStr = fmt.Sprintf(mr.format, ourVal)
+			}
+			fmt.Fprintf(&b, "%-11s %-16s %10s %10s\n", mr.label, method, paperStr, oursStr)
+		}
+		fmt.Fprintln(&b)
+	}
+	return b.String()
+}

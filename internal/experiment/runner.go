@@ -1,0 +1,217 @@
+package experiment
+
+import (
+	"fmt"
+
+	"datasculpt/internal/baselines"
+	"datasculpt/internal/core"
+	"datasculpt/internal/dataset"
+	"datasculpt/internal/lf"
+)
+
+// Method names used across the grids, matching the paper's row labels.
+const (
+	MethodWrench      = "WRENCH"
+	MethodScriptorium = "ScriptoriumWS"
+	MethodPromptedLF  = "PromptedLF"
+	MethodBase        = "DataSculpt-Base"
+	MethodCoT         = "DataSculpt-CoT"
+	MethodSC          = "DataSculpt-SC"
+	MethodKATE        = "DataSculpt-KATE"
+)
+
+// MainMethods is the Table 2 row order.
+func MainMethods() []string {
+	return []string{
+		MethodWrench, MethodScriptorium, MethodPromptedLF,
+		MethodBase, MethodCoT, MethodSC, MethodKATE,
+	}
+}
+
+// variantOf maps method labels to pipeline variants.
+var variantOf = map[string]core.Variant{
+	MethodBase: core.VariantBase,
+	MethodCoT:  core.VariantCoT,
+	MethodSC:   core.VariantSC,
+	MethodKATE: core.VariantKATE,
+}
+
+// baseConfig builds the shared pipeline configuration for a repetition.
+func baseConfig(o Options, seed int) core.Config {
+	cfg := core.Config{
+		Model:      o.Model,
+		Iterations: o.Iterations,
+		Seed:       int64(100*seed + 1),
+	}
+	return cfg
+}
+
+// runMethod executes one (method, dataset, seed) cell.
+func runMethod(o Options, method string, d *dataset.Dataset, seed int) (*core.Result, error) {
+	cfg := baseConfig(o, seed)
+	switch method {
+	case MethodWrench:
+		lfs, err := baselines.Wrench(d)
+		if err != nil {
+			return nil, err
+		}
+		res, err := core.EvaluateLFSet(d, lfs, cfg)
+		if err != nil {
+			return nil, err
+		}
+		res.Method = method
+		return res, nil
+	case MethodScriptorium:
+		lfs, meter, err := baselines.Scriptorium(d, o.Model, cfg.Seed+11)
+		if err != nil {
+			return nil, err
+		}
+		res, err := core.EvaluateLFSet(d, lfs, cfg)
+		if err != nil {
+			return nil, err
+		}
+		res.Method = method
+		res.Calls = meter.Calls
+		res.PromptTokens = meter.PromptTokens
+		res.CompletionTokens = meter.CompletionTokens
+		res.CostUSD = meter.CostUSD()
+		return res, nil
+	case MethodPromptedLF:
+		lfs, meter, err := baselines.PromptedLF(d, o.Model, cfg.Seed+17)
+		if err != nil {
+			return nil, err
+		}
+		res, err := core.EvaluateLFSet(d, lfs, cfg)
+		if err != nil {
+			return nil, err
+		}
+		res.Method = method
+		res.Calls = meter.Calls
+		res.PromptTokens = meter.PromptTokens
+		res.CompletionTokens = meter.CompletionTokens
+		res.CostUSD = meter.CostUSD()
+		return res, nil
+	default:
+		variant, ok := variantOf[method]
+		if !ok {
+			return nil, fmt.Errorf("experiment: unknown method %q", method)
+		}
+		cfg.Variant = variant
+		res, err := core.Run(d, cfg)
+		if err != nil {
+			return nil, err
+		}
+		res.Method = method
+		return res, nil
+	}
+}
+
+// sweep fills a grid by running `run` for every (method, dataset, seed).
+func sweep(o Options, title string, methods []string,
+	run func(method string, d *dataset.Dataset, seed int) (*core.Result, error)) (*Grid, error) {
+	g := newGrid(title, methods, o.Datasets)
+	for _, dsName := range o.Datasets {
+		for _, method := range methods {
+			var results []*core.Result
+			for s := 1; s <= o.Seeds; s++ {
+				d, err := dataset.Load(dsName, datasetSeed(s), o.Scale)
+				if err != nil {
+					return nil, err
+				}
+				res, err := run(method, d, s)
+				if err != nil {
+					return nil, fmt.Errorf("experiment %s/%s seed %d: %w", method, dsName, s, err)
+				}
+				results = append(results, res)
+			}
+			st := meanStats(results)
+			g.Set(method, dsName, st)
+			o.logf("  %-16s %-8s #LF=%-6.1f acc=%-6.3f cov=%-7.4f total=%-6.3f %s=%-6.3f tok=%.0f",
+				method, dsName, st.NumLFs, st.LFAcc, st.LFCov, st.TotalCov, st.MetricName, st.EM, st.TotalTokens())
+		}
+	}
+	return g, nil
+}
+
+// MainResults runs the Table 2 comparison (which also provides the data
+// of Figures 3 and 4): all seven methods on every dataset.
+func MainResults(o Options) (*Grid, error) {
+	o = o.normalized()
+	o.logf("== main results (Table 2, Figures 3-4): %d datasets x %d seeds, scale %.2f",
+		len(o.Datasets), o.Seeds, o.Scale)
+	return sweep(o, "Table 2: LF statistics and end model performance", MainMethods(),
+		func(method string, d *dataset.Dataset, seed int) (*core.Result, error) {
+			return runMethod(o, method, d, seed)
+		})
+}
+
+// LLMNames is the Table 3 row order.
+func LLMNames() []string {
+	return []string{"gpt-3.5", "gpt-4", "llama2-7b", "llama2-13b", "llama2-70b"}
+}
+
+// LLMAblation runs Table 3: DataSculpt-SC with each pre-trained model.
+func LLMAblation(o Options) (*Grid, error) {
+	o = o.normalized()
+	o.logf("== LLM ablation (Table 3): %d models", len(LLMNames()))
+	return sweep(o, "Table 3: ablation study using different LLMs", LLMNames(),
+		func(model string, d *dataset.Dataset, seed int) (*core.Result, error) {
+			cfg := baseConfig(o, seed)
+			cfg.Model = model
+			cfg.Variant = core.VariantSC
+			res, err := core.Run(d, cfg)
+			if err != nil {
+				return nil, err
+			}
+			res.Method = model
+			return res, nil
+		})
+}
+
+// SamplerNames is the Table 4 row order.
+func SamplerNames() []string { return []string{"random", "uncertain", "seu"} }
+
+// SamplerAblation runs Table 4: DataSculpt-SC with each query-selection
+// strategy.
+func SamplerAblation(o Options) (*Grid, error) {
+	o = o.normalized()
+	o.logf("== sampler ablation (Table 4)")
+	return sweep(o, "Table 4: ablation study using different samplers", SamplerNames(),
+		func(smp string, d *dataset.Dataset, seed int) (*core.Result, error) {
+			cfg := baseConfig(o, seed)
+			cfg.Variant = core.VariantSC
+			cfg.Sampler = smp
+			res, err := core.Run(d, cfg)
+			if err != nil {
+				return nil, err
+			}
+			res.Method = smp
+			return res, nil
+		})
+}
+
+// FilterNames is the Table 5 row order.
+func FilterNames() []string { return []string{"all", "no accuracy", "no redundancy"} }
+
+// FilterAblation runs Table 5: DataSculpt-SC with filter subsets.
+func FilterAblation(o Options) (*Grid, error) {
+	o = o.normalized()
+	o.logf("== filter ablation (Table 5)")
+	configs := map[string]lf.FilterConfig{
+		"all":           {UseAccuracy: true, UseRedundancy: true},
+		"no accuracy":   {UseAccuracy: false, UseRedundancy: true},
+		"no redundancy": {UseAccuracy: true, UseRedundancy: false},
+	}
+	return sweep(o, "Table 5: ablation study using different LF filters", FilterNames(),
+		func(name string, d *dataset.Dataset, seed int) (*core.Result, error) {
+			cfg := baseConfig(o, seed)
+			cfg.Variant = core.VariantSC
+			cfg.Filters = configs[name]
+			res, err := core.Run(d, cfg)
+			if err != nil {
+				return nil, err
+			}
+			res.Method = name
+			return res, nil
+		})
+}

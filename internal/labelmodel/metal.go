@@ -1,0 +1,459 @@
+package labelmodel
+
+import (
+	"fmt"
+	"math"
+
+	"datasculpt/internal/lf"
+)
+
+// MeTaL is a generative label model in the spirit of Ratner et al. (2019),
+// the label model the paper uses throughout its evaluation. On a
+// single-task problem MeTaL reduces to learning, without ground truth,
+// per-LF reliabilities under a conditional-independence assumption; this
+// implementation fits them with EM:
+//
+//	P(y=c) = π_c                               (fixed; see ClassBalance)
+//	P(λ_j active | y=c) = θ_jc                 (class-conditional propensity)
+//	P(λ_j = v | y=c, λ_j active) = a_j         if v == c
+//	                             = (1-a_j)/(K-1) otherwise
+//
+// Unlike the simplest data-programming abstain model, activation is NOT
+// assumed independent of the true class. For keyword LFs the activation
+// pattern carries most of the signal: a spam-keyword LF fires almost
+// exclusively on spam messages, so firing at all is strong evidence even
+// before the vote is read — while a generic-word LF fires uniformly and
+// its activation is correctly treated as uninformative. Modeling θ_jc is
+// what lets the posterior separate the two on imbalanced datasets.
+type MeTaL struct {
+	// MaxIter bounds EM iterations (default 100).
+	MaxIter int
+	// Tol is the relative log-likelihood convergence tolerance
+	// (default 1e-6).
+	Tol float64
+	// ClassBalance fixes the class priors π (like Snorkel's
+	// class_balance input). Nil means uniform. Priors are NOT learned by
+	// default: with the sparse, mostly-singleton coverage of keyword LFs,
+	// jointly learning priors and accuracies has a degenerate EM mode
+	// that explains minority-class LFs away as inaccurate and collapses
+	// the prior onto the majority class.
+	ClassBalance []float64
+	// LearnPrior opts back into M-step prior updates for vote matrices
+	// with dense, overlapping coverage.
+	LearnPrior bool
+	// ModelPropensity enables the class-conditional activation term θ_jc
+	// (default true via NewMeTaL). Disable to recover the classic
+	// abstain-uninformative model.
+	ModelPropensity bool
+	// SuppressSingleClassVote drops the accuracy factor for LFs that only
+	// ever emit one class, leaving their evidence entirely to θ_jc. This
+	// is the "correct" generative story for deterministic keyword LFs —
+	// the vote repeats the activation — but in practice EM's θ estimates
+	// from responsibilities are fragile when minority-class LFs are
+	// sparse, so it is off by default and exercised by the ablation
+	// benchmarks.
+	SuppressSingleClassVote bool
+
+	k        int
+	acc      []float64   // per-LF accuracy a_j
+	theta    [][]float64 // per-LF per-class activation propensity θ_jc
+	voteless []bool      // per-LF: vote factor suppressed (single-class LF)
+	prior    []float64   // class priors π
+}
+
+// Accuracy-anchor hyperparameters of the M-step's Beta prior: sparse LFs
+// are pulled toward accAnchor with the weight of accPseudo observations.
+const (
+	accAnchor = 0.88
+	accPseudo = 8.0
+	// thetaPseudo smooths the propensity estimates.
+	thetaPseudo = 1.0
+	// thetaClampFactor bounds each θ_jc to within this factor of the LF's
+	// marginal activation rate. Without the clamp, EM can label-switch: a
+	// small residual posterior mass (say γ=0.1) spread over a majority
+	// LF's thousands of activations aggregates — against the rare class's
+	// tiny mass denominator — into a large apparent propensity for the
+	// wrong class, which then flips the LF's interpretation entirely.
+	thetaClampFactor = 5.0
+)
+
+// NewMeTaL constructs the model with default hyperparameters.
+func NewMeTaL() *MeTaL {
+	return &MeTaL{MaxIter: 100, Tol: 1e-6, ModelPropensity: true}
+}
+
+// Name implements LabelModel.
+func (m *MeTaL) Name() string { return "metal" }
+
+// Accuracies returns the fitted per-LF accuracies (shared slice).
+func (m *MeTaL) Accuracies() []float64 { return m.acc }
+
+// Propensities returns the fitted θ_jc matrix (shared; nil when
+// ModelPropensity is off).
+func (m *MeTaL) Propensities() [][]float64 { return m.theta }
+
+// Priors returns the class priors (shared slice).
+func (m *MeTaL) Priors() []float64 { return m.prior }
+
+// activeList caches the active (docID, vote) pairs of one LF column,
+// plus whether the LF only ever emits a single class.
+type activeList struct {
+	ids   []int32
+	votes []int8
+	// singleClass is true when every active vote equals voteClass. For
+	// such LFs (keyword LFs always vote their class) the vote carries no
+	// information beyond the activation itself, so the accuracy factor
+	// must not be applied — doing so double-counts and systematically
+	// over-trusts majority-class LFs. All their evidence lives in θ_jc.
+	singleClass bool
+	voteClass   int
+}
+
+func collectActive(vm *lf.VoteMatrix) []activeList {
+	out := make([]activeList, vm.NumLFs())
+	for j := 0; j < vm.NumLFs(); j++ {
+		col := vm.Column(j)
+		al := activeList{singleClass: true, voteClass: -1}
+		for i, v := range col {
+			if v != lf.Abstain {
+				al.ids = append(al.ids, int32(i))
+				al.votes = append(al.votes, v)
+				if al.voteClass == -1 {
+					al.voteClass = int(v)
+				} else if al.voteClass != int(v) {
+					al.singleClass = false
+				}
+			}
+		}
+		out[j] = al
+	}
+	return out
+}
+
+// Fit implements LabelModel.
+func (m *MeTaL) Fit(vm *lf.VoteMatrix, numClasses int) error {
+	if numClasses < 2 {
+		return fmt.Errorf("metal: need >=2 classes, got %d", numClasses)
+	}
+	if m.MaxIter <= 0 {
+		m.MaxIter = 100
+	}
+	if m.Tol <= 0 {
+		m.Tol = 1e-6
+	}
+	m.k = numClasses
+	nLF := vm.NumLFs()
+	m.acc = make([]float64, nLF)
+	m.theta = nil
+	m.voteless = make([]bool, nLF)
+	for j := range m.acc {
+		m.acc[j] = accAnchor // optimistic init: LFs are better than chance
+	}
+	m.prior = make([]float64, numClasses)
+	if m.ClassBalance != nil {
+		if len(m.ClassBalance) != numClasses {
+			return fmt.Errorf("metal: class balance has %d entries for %d classes",
+				len(m.ClassBalance), numClasses)
+		}
+		var sum float64
+		for _, p := range m.ClassBalance {
+			if p <= 0 {
+				return fmt.Errorf("metal: non-positive class balance entry")
+			}
+			sum += p
+		}
+		for c := range m.prior {
+			m.prior[c] = m.ClassBalance[c] / sum
+		}
+	} else {
+		for c := range m.prior {
+			m.prior[c] = 1 / float64(numClasses)
+		}
+	}
+	if nLF == 0 {
+		return nil // nothing to learn; priors stay as configured
+	}
+
+	active := collectActive(vm)
+	covered := vm.Covered()
+	nCovered := 0
+	for _, b := range covered {
+		if b {
+			nCovered++
+		}
+	}
+	if nCovered == 0 {
+		return fmt.Errorf("metal: no example is covered by any LF")
+	}
+	if m.ModelPropensity && m.SuppressSingleClassVote {
+		for j := range m.voteless {
+			m.voteless[j] = active[j].singleClass
+		}
+	}
+
+	if m.ModelPropensity {
+		// θ initialization leans toward the LF's voted class: the LF's
+		// author (the LLM, a human expert, a code generator) intended it
+		// to fire on that class, which breaks the symmetry EM needs when
+		// single-class LFs contribute no vote factor. The lean is soft;
+		// the M-step re-estimates θ from responsibilities, flattening it
+		// for LFs whose activations turn out to be class-independent.
+		m.theta = make([][]float64, nLF)
+		for j := range m.theta {
+			m.theta[j] = make([]float64, numClasses)
+			base := float64(len(active[j].ids)+1) / float64(nCovered+2)
+			for c := range m.theta[j] {
+				m.theta[j][c] = base
+			}
+			if vc := active[j].voteClass; vc >= 0 && vc < numClasses {
+				up := base * 2.5
+				if up > 0.95 {
+					up = 0.95
+				}
+				down := base * 0.4
+				if down < 1e-4 {
+					down = 1e-4
+				}
+				for c := range m.theta[j] {
+					if c == vc {
+						m.theta[j][c] = up
+					} else {
+						m.theta[j][c] = down
+					}
+				}
+			}
+		}
+	}
+
+	n := vm.NumExamples()
+	logpost := make([][]float64, n)
+	gamma := make([][]float64, n)
+	for i := range logpost {
+		if covered[i] {
+			logpost[i] = make([]float64, numClasses)
+			gamma[i] = make([]float64, numClasses)
+		}
+	}
+
+	prevLL := math.Inf(-1)
+	for iter := 0; iter < m.MaxIter; iter++ {
+		// E-step. With propensity on, every covered document carries the
+		// inactive-LF mass Σ_j log(1-θ_jc) as a per-class base term, and
+		// each active LF swaps its log(1-θ_jc) for log θ_jc plus the vote
+		// factor. Accumulation stays column-sparse.
+		base := make([]float64, numClasses)
+		for c := range base {
+			base[c] = math.Log(m.prior[c])
+		}
+		if m.ModelPropensity {
+			for j := 0; j < nLF; j++ {
+				for c := 0; c < numClasses; c++ {
+					base[c] += math.Log(1 - m.theta[j][c])
+				}
+			}
+		}
+		for i := range logpost {
+			if logpost[i] == nil {
+				continue
+			}
+			copy(logpost[i], base)
+		}
+		for j := 0; j < nLF; j++ {
+			logA := math.Log(m.acc[j])
+			logMiss := math.Log((1 - m.acc[j]) / float64(numClasses-1))
+			al := active[j]
+			useVote := !m.voteless[j]
+			for t, id := range al.ids {
+				v := int(al.votes[t])
+				row := logpost[id]
+				for c := 0; c < numClasses; c++ {
+					var factor float64
+					if useVote {
+						factor = logMiss
+						if c == v {
+							factor = logA
+						}
+					}
+					if m.ModelPropensity {
+						factor += math.Log(m.theta[j][c]) - math.Log(1-m.theta[j][c])
+					}
+					row[c] += factor
+				}
+			}
+		}
+		var ll float64
+		for i := range logpost {
+			if logpost[i] == nil {
+				continue
+			}
+			lse := logSumExp(logpost[i])
+			ll += lse
+			for c := range gamma[i] {
+				gamma[i][c] = math.Exp(logpost[i][c] - lse)
+			}
+		}
+
+		// Class mass over covered documents (for propensity denominators).
+		classMass := make([]float64, numClasses)
+		for i := range gamma {
+			if gamma[i] == nil {
+				continue
+			}
+			for c, g := range gamma[i] {
+				classMass[c] += g
+			}
+		}
+
+		// M-step: accuracies under an informative Beta prior anchored at
+		// accAnchor. Keyword LFs are sparse — most covered examples carry
+		// a single vote, which gives EM no corroborating evidence — so
+		// unanchored estimates drift toward whatever the current
+		// responsibilities happen to say. The anchor (pseudo-count
+		// accPseudo) keeps sparse LFs near the plausible operating point
+		// while densely-covered LFs remain data-driven.
+		for j := 0; j < nLF; j++ {
+			al := active[j]
+			var correct, total float64
+			activeMass := make([]float64, numClasses)
+			for t, id := range al.ids {
+				v := int(al.votes[t])
+				correct += gamma[id][v]
+				total++
+				for c := 0; c < numClasses; c++ {
+					activeMass[c] += gamma[id][c]
+				}
+			}
+			a := (correct + accPseudo*accAnchor) / (total + accPseudo)
+			// Better-than-chance constraint (standard in data programming):
+			// without it EM has a degenerate mode that explains minority-
+			// class LFs as systematically inverted and collapses the prior.
+			floor := 1.0/float64(numClasses) + 0.05
+			if a < floor {
+				a = floor
+			}
+			if a > 0.995 {
+				a = 0.995
+			}
+			m.acc[j] = a
+
+			if m.ModelPropensity {
+				marginal := (total + 1) / (float64(nCovered) + 2)
+				lo := marginal / thetaClampFactor
+				hi := marginal * thetaClampFactor
+				if lo < 1e-4 {
+					lo = 1e-4
+				}
+				if hi > 0.999 {
+					hi = 0.999
+				}
+				for c := 0; c < numClasses; c++ {
+					th := (activeMass[c] + thetaPseudo) / (classMass[c] + 2*thetaPseudo)
+					if th < lo {
+						th = lo
+					}
+					if th > hi {
+						th = hi
+					}
+					m.theta[j][c] = th
+				}
+			}
+		}
+		if m.LearnPrior {
+			for c := 0; c < numClasses; c++ {
+				m.prior[c] = (classMass[c] + 1.0) / (float64(nCovered) + float64(numClasses))
+			}
+		}
+
+		if prevLL != math.Inf(-1) {
+			denom := math.Abs(prevLL)
+			if denom < 1 {
+				denom = 1
+			}
+			if math.Abs(ll-prevLL)/denom < m.Tol {
+				break
+			}
+		}
+		prevLL = ll
+	}
+	return nil
+}
+
+// PredictProba implements LabelModel.
+func (m *MeTaL) PredictProba(vm *lf.VoteMatrix) [][]float64 {
+	if m.k == 0 {
+		panic("metal: PredictProba before Fit")
+	}
+	if vm.NumLFs() != len(m.acc) {
+		panic(fmt.Sprintf("metal: matrix has %d LFs, fitted on %d", vm.NumLFs(), len(m.acc)))
+	}
+	n := vm.NumExamples()
+	out := make([][]float64, n)
+	logp := make([]float64, m.k)
+	row := make([]int, vm.NumLFs())
+
+	base := make([]float64, m.k)
+	for c := range base {
+		base[c] = math.Log(m.prior[c])
+	}
+	if m.theta != nil {
+		for j := range m.theta {
+			for c := 0; c < m.k; c++ {
+				base[c] += math.Log(1 - m.theta[j][c])
+			}
+		}
+	}
+
+	for i := 0; i < n; i++ {
+		vm.Row(i, row)
+		any := false
+		copy(logp, base)
+		for j, v := range row {
+			if v == lf.Abstain {
+				continue
+			}
+			any = true
+			logA := math.Log(m.acc[j])
+			logMiss := math.Log((1 - m.acc[j]) / float64(m.k-1))
+			for c := 0; c < m.k; c++ {
+				var factor float64
+				if !m.voteless[j] {
+					factor = logMiss
+					if c == v {
+						factor = logA
+					}
+				}
+				if m.theta != nil {
+					factor += math.Log(m.theta[j][c]) - math.Log(1-m.theta[j][c])
+				}
+				logp[c] += factor
+			}
+		}
+		if !any {
+			continue
+		}
+		lse := logSumExp(logp)
+		p := make([]float64, m.k)
+		for c := range p {
+			p[c] = math.Exp(logp[c] - lse)
+		}
+		out[i] = p
+	}
+	return out
+}
+
+func logSumExp(xs []float64) float64 {
+	max := xs[0]
+	for _, x := range xs[1:] {
+		if x > max {
+			max = x
+		}
+	}
+	if math.IsInf(max, -1) {
+		return max
+	}
+	var s float64
+	for _, x := range xs {
+		s += math.Exp(x - max)
+	}
+	return max + math.Log(s)
+}

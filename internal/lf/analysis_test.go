@@ -1,0 +1,107 @@
+package lf
+
+import (
+	"strings"
+	"testing"
+
+	"datasculpt/internal/dataset"
+)
+
+func analysisFixture(t *testing.T) (*VoteMatrix, []LabelFunction, []int) {
+	t.Helper()
+	split := []*dataset.Example{
+		exLabeled(0, "free money now", 1),         // spam + free both active, agree
+		exLabeled(1, "free hugs for everyone", 0), // free active, wrong
+		exLabeled(2, "love this melody", 0),       // melody active
+		exLabeled(3, "nothing here", 0),           // uncovered
+		exLabeled(4, "free melody download", 1),   // free(1) + melody(0) conflict
+	}
+	free, _ := NewKeywordLF("free", 1)
+	melody, _ := NewKeywordLF("melody", 0)
+	money, _ := NewKeywordLF("money", 1)
+	lfs := []LabelFunction{free, melody, money}
+	ix := NewIndex(split)
+	return BuildVoteMatrix(ix, lfs), lfs, dataset.Labels(split)
+}
+
+func TestAnalyze(t *testing.T) {
+	vm, lfs, gold := analysisFixture(t)
+	sums := Analyze(vm, lfs, gold)
+	if len(sums) != 3 {
+		t.Fatalf("summaries = %d", len(sums))
+	}
+	byName := map[string]Summary{}
+	for _, s := range sums {
+		byName[s.Name] = s
+	}
+	free := byName[lfs[0].Name()]
+	if free.Active != 3 || free.Coverage != 0.6 {
+		t.Errorf("free coverage: %+v", free)
+	}
+	// free overlaps with money (doc 0) and melody (doc 4): 2/5
+	if free.Overlap != 0.4 {
+		t.Errorf("free overlap = %v, want 0.4", free.Overlap)
+	}
+	// conflict only on doc 4 (melody disagrees): 1/5
+	if free.Conflict != 0.2 {
+		t.Errorf("free conflict = %v, want 0.2", free.Conflict)
+	}
+	// accuracy: docs 0,4 correct (label 1), doc 1 wrong -> 2/3
+	if !free.AccuracyKnown || free.Correct != 2 || free.Incorrect != 1 {
+		t.Errorf("free accuracy: %+v", free)
+	}
+	melody := byName[lfs[1].Name()]
+	// melody: docs 2 (correct) and 4 (incorrect) -> 0.5
+	if melody.Accuracy != 0.5 {
+		t.Errorf("melody accuracy = %v", melody.Accuracy)
+	}
+	money := byName[lfs[2].Name()]
+	if money.Active != 1 || money.Conflict != 0 || money.Overlap != 0.2 {
+		t.Errorf("money: %+v", money)
+	}
+}
+
+func TestAnalyzeUnlabeled(t *testing.T) {
+	vm, lfs, _ := analysisFixture(t)
+	sums := Analyze(vm, lfs, nil)
+	for _, s := range sums {
+		if s.AccuracyKnown {
+			t.Errorf("%s has accuracy without gold labels", s.Name)
+		}
+		if s.Coverage < 0 || s.Coverage > 1 {
+			t.Errorf("%s coverage out of range", s.Name)
+		}
+	}
+}
+
+func TestAnalyzeMismatchedPanics(t *testing.T) {
+	vm, lfs, gold := analysisFixture(t)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on LF count mismatch")
+		}
+	}()
+	Analyze(vm, lfs[:1], gold)
+}
+
+func TestSortAndFormatSummaries(t *testing.T) {
+	vm, lfs, gold := analysisFixture(t)
+	sums := Analyze(vm, lfs, gold)
+	SortByCoverage(sums)
+	for i := 1; i < len(sums); i++ {
+		if sums[i-1].Coverage < sums[i].Coverage {
+			t.Fatal("not sorted by coverage")
+		}
+	}
+	out := FormatSummaries(sums)
+	if !strings.Contains(out, "conflict") || !strings.Contains(out, "free") {
+		t.Errorf("format output = %q", out)
+	}
+	// annotation LFs print * for their class column
+	ann := &AnnotationLF{LFName: "t", Votes: nil}
+	annSums := Analyze(BuildVoteMatrix(NewIndex([]*dataset.Example{ex(0, "x y")}), []LabelFunction{ann}),
+		[]LabelFunction{ann}, nil)
+	if got := FormatSummaries(annSums); !strings.Contains(got, "*") {
+		t.Errorf("annotation class column = %q", got)
+	}
+}

@@ -1,0 +1,92 @@
+package lf
+
+import (
+	"fmt"
+	"strings"
+
+	"datasculpt/internal/dataset"
+	"datasculpt/internal/textproc"
+)
+
+// DisjunctionLF votes Class when the example contains any of its
+// keywords. This is the shape of broad expert heuristics (the WRENCH
+// benchmark's expression-list LFs) and of code-generated programs
+// ("if any(k in text for k in [...])"). With EntityAware set, every
+// keyword check is window-restricted to the target entity pair, as in
+// EntityKeywordLF.
+type DisjunctionLF struct {
+	// LFName uniquely identifies the LF.
+	LFName string
+	// Keywords are canonical 1-3 gram phrases.
+	Keywords []string
+	// Class is the vote when any keyword matches.
+	Class int
+	// EntityAware restricts matching to the entity window (relation
+	// tasks).
+	EntityAware bool
+	// Window overrides DefaultEntityWindow when positive.
+	Window int
+}
+
+// NewDisjunctionLF validates and constructs a DisjunctionLF. Keywords are
+// normalized; empty or over-long phrases are rejected.
+func NewDisjunctionLF(name string, rawKeywords []string, class int, entityAware bool) (*DisjunctionLF, error) {
+	if name == "" {
+		return nil, fmt.Errorf("disjunction LF: empty name")
+	}
+	if len(rawKeywords) == 0 {
+		return nil, fmt.Errorf("disjunction LF %s: no keywords", name)
+	}
+	keywords := make([]string, 0, len(rawKeywords))
+	for _, raw := range rawKeywords {
+		phrase, n := textproc.NormalizePhrase(raw)
+		if n == 0 || n > textproc.MaxKeywordLen {
+			return nil, fmt.Errorf("disjunction LF %s: keyword %q not a 1-%d gram",
+				name, raw, textproc.MaxKeywordLen)
+		}
+		keywords = append(keywords, phrase)
+	}
+	return &DisjunctionLF{LFName: name, Keywords: keywords, Class: class, EntityAware: entityAware}, nil
+}
+
+// Name implements LabelFunction.
+func (d *DisjunctionLF) Name() string {
+	return fmt.Sprintf("dis:%s[%s]->%d", d.LFName, strings.Join(d.Keywords, "|"), d.Class)
+}
+
+// TargetClass implements LabelFunction.
+func (d *DisjunctionLF) TargetClass() int { return d.Class }
+
+// Apply implements LabelFunction.
+func (d *DisjunctionLF) Apply(e *dataset.Example) int {
+	e.EnsureTokens()
+	tokens := e.Tokens
+	if d.EntityAware {
+		if e.E1Pos < 0 || e.E2Pos < 0 {
+			return Abstain
+		}
+		w := d.Window
+		if w <= 0 {
+			w = DefaultEntityWindow
+		}
+		lo, hi := e.E1Pos, e.E2Pos
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		lo -= w
+		if lo < 0 {
+			lo = 0
+		}
+		hi += 2 + w
+		if hi > len(tokens) {
+			hi = len(tokens)
+		}
+		tokens = tokens[lo:hi]
+	}
+	for _, kw := range d.Keywords {
+		if textproc.ContainsPhrase(tokens, kw) {
+			return d.Class
+		}
+	}
+	return Abstain
+}

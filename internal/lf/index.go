@@ -1,0 +1,124 @@
+package lf
+
+import (
+	"datasculpt/internal/dataset"
+	"datasculpt/internal/textproc"
+)
+
+// Index is an inverted unigram index over one dataset split. It makes
+// keyword-LF evaluation fast: instead of scanning every document for every
+// phrase (hundreds of LFs × up to 96k documents on Agnews), phrase lookups
+// seed from the posting list of the phrase's rarest word and verify only
+// those candidates.
+type Index struct {
+	split    []*dataset.Example
+	postings map[string][]int32
+}
+
+// NewIndex builds the index. Token caches are populated as a side effect.
+func NewIndex(split []*dataset.Example) *Index {
+	ix := &Index{
+		split:    split,
+		postings: make(map[string][]int32, 2048),
+	}
+	for i, e := range split {
+		e.EnsureTokens()
+		prev := ""
+		for _, tok := range e.Tokens {
+			if tok == prev {
+				continue // cheap local dedupe; full dedupe below
+			}
+			prev = tok
+			list := ix.postings[tok]
+			if len(list) > 0 && list[len(list)-1] == int32(i) {
+				continue
+			}
+			ix.postings[tok] = append(list, int32(i))
+		}
+	}
+	return ix
+}
+
+// Size returns the number of indexed documents.
+func (ix *Index) Size() int { return len(ix.split) }
+
+// Split returns the indexed examples.
+func (ix *Index) Split() []*dataset.Example { return ix.split }
+
+// DocFreq returns how many documents contain the given single token.
+func (ix *Index) DocFreq(token string) int { return len(ix.postings[token]) }
+
+// Docs returns the ascending document ids whose tokens contain the
+// canonical phrase. Single-word phrases come straight from the posting
+// list; multi-word phrases seed from the rarest word and verify
+// contiguity per candidate.
+func (ix *Index) Docs(phrase string) []int32 {
+	words := splitPhrase(phrase)
+	switch len(words) {
+	case 0:
+		return nil
+	case 1:
+		return ix.postings[words[0]]
+	}
+	seed := words[0]
+	for _, w := range words[1:] {
+		if len(ix.postings[w]) < len(ix.postings[seed]) {
+			seed = w
+		}
+	}
+	candidates := ix.postings[seed]
+	var out []int32
+	for _, id := range candidates {
+		if textproc.ContainsPhrase(ix.split[id].Tokens, phrase) {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+func splitPhrase(phrase string) []string {
+	var out []string
+	start := -1
+	for i := 0; i < len(phrase); i++ {
+		if phrase[i] == ' ' {
+			if start >= 0 {
+				out = append(out, phrase[start:i])
+				start = -1
+			}
+			continue
+		}
+		if start < 0 {
+			start = i
+		}
+	}
+	if start >= 0 {
+		out = append(out, phrase[start:])
+	}
+	return out
+}
+
+// ActiveDocs returns the ascending document ids on which the LF does not
+// abstain. Keyword LFs use the fast posting-list path; every other LF is
+// evaluated by a full scan.
+func (ix *Index) ActiveDocs(f LabelFunction) []int32 {
+	switch t := f.(type) {
+	case *KeywordLF:
+		return ix.Docs(t.Keyword)
+	case *EntityKeywordLF:
+		var out []int32
+		for _, id := range ix.Docs(t.Keyword) {
+			if t.Apply(ix.split[id]) != Abstain {
+				out = append(out, id)
+			}
+		}
+		return out
+	default:
+		var out []int32
+		for i, e := range ix.split {
+			if f.Apply(e) != Abstain {
+				out = append(out, int32(i))
+			}
+		}
+		return out
+	}
+}

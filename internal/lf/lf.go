@@ -1,0 +1,192 @@
+// Package lf implements label functions (LFs) — the heuristic weak
+// supervision sources of the PWS paradigm — together with the vote-matrix
+// machinery and the three LF filters of the paper (validity, accuracy,
+// redundancy).
+//
+// Four LF flavours cover every system in the evaluation:
+//
+//   - KeywordLF: the paper's λ(k,c) — label class c when the passage
+//     contains phrase k (a unigram, bigram or trigram).
+//   - EntityKeywordLF: the relation-task extension "[A] k [B]" — the
+//     phrase must attach to the target entity pair, not to a distractor
+//     pair elsewhere in the passage.
+//   - PredicateLF: an arbitrary compiled predicate, the shape produced by
+//     code-generation baselines (ScriptoriumWS).
+//   - AnnotationLF: a per-instance annotation table, the shape produced by
+//     exhaustive prompting baselines (PromptedLF).
+package lf
+
+import (
+	"fmt"
+
+	"datasculpt/internal/dataset"
+	"datasculpt/internal/textproc"
+)
+
+// Abstain is the vote of an inactive label function.
+const Abstain = -1
+
+// LabelFunction is a weak supervision source: a heuristic that labels a
+// subset of instances and abstains elsewhere.
+type LabelFunction interface {
+	// Name uniquely identifies the LF within a set.
+	Name() string
+	// Apply returns a class vote for the example, or Abstain.
+	Apply(e *dataset.Example) int
+	// TargetClass returns the class this LF votes for, or Abstain when
+	// the LF can emit different classes per instance (AnnotationLF).
+	TargetClass() int
+}
+
+// KeywordLF labels an example as Class when its tokens contain Keyword
+// (a canonical space-joined 1-3 gram).
+type KeywordLF struct {
+	// Keyword is the canonical phrase, as produced by
+	// textproc.NormalizePhrase.
+	Keyword string
+	// Class is the vote emitted when the keyword is present.
+	Class int
+}
+
+// NewKeywordLF normalizes the raw phrase and constructs a KeywordLF. It
+// rejects phrases that are empty after normalization or longer than
+// textproc.MaxKeywordLen — the checks the paper's validity filter applies.
+func NewKeywordLF(rawPhrase string, class int) (*KeywordLF, error) {
+	phrase, n := textproc.NormalizePhrase(rawPhrase)
+	if n == 0 {
+		return nil, fmt.Errorf("keyword LF: empty phrase %q", rawPhrase)
+	}
+	if n > textproc.MaxKeywordLen {
+		return nil, fmt.Errorf("keyword LF: phrase %q is a %d-gram, max %d", rawPhrase, n, textproc.MaxKeywordLen)
+	}
+	return &KeywordLF{Keyword: phrase, Class: class}, nil
+}
+
+// Name implements LabelFunction.
+func (k *KeywordLF) Name() string { return fmt.Sprintf("kw:%q->%d", k.Keyword, k.Class) }
+
+// TargetClass implements LabelFunction.
+func (k *KeywordLF) TargetClass() int { return k.Class }
+
+// Apply implements LabelFunction.
+func (k *KeywordLF) Apply(e *dataset.Example) int {
+	e.EnsureTokens()
+	if textproc.ContainsPhrase(e.Tokens, k.Keyword) {
+		return k.Class
+	}
+	return Abstain
+}
+
+// DefaultEntityWindow is how many tokens beyond the entity span an
+// entity-aware keyword may sit and still count as attached to the pair.
+const DefaultEntityWindow = 4
+
+// EntityKeywordLF is the relation-classification extension of KeywordLF:
+// "[A] keyword [B]". It votes only when the keyword occurs inside (or
+// within Window tokens of) the span between the target entity mentions,
+// so a relation phrase belonging to a distractor pair elsewhere in the
+// passage does not activate it.
+type EntityKeywordLF struct {
+	Keyword string
+	Class   int
+	// Window extends the entity span on both sides; zero means
+	// DefaultEntityWindow.
+	Window int
+}
+
+// NewEntityKeywordLF validates and constructs an EntityKeywordLF.
+func NewEntityKeywordLF(rawPhrase string, class int) (*EntityKeywordLF, error) {
+	phrase, n := textproc.NormalizePhrase(rawPhrase)
+	if n == 0 {
+		return nil, fmt.Errorf("entity keyword LF: empty phrase %q", rawPhrase)
+	}
+	if n > textproc.MaxKeywordLen {
+		return nil, fmt.Errorf("entity keyword LF: phrase %q is a %d-gram, max %d", rawPhrase, n, textproc.MaxKeywordLen)
+	}
+	return &EntityKeywordLF{Keyword: phrase, Class: class}, nil
+}
+
+// Name implements LabelFunction.
+func (k *EntityKeywordLF) Name() string { return fmt.Sprintf("ekw:%q->%d", k.Keyword, k.Class) }
+
+// TargetClass implements LabelFunction.
+func (k *EntityKeywordLF) TargetClass() int { return k.Class }
+
+// Apply implements LabelFunction.
+func (k *EntityKeywordLF) Apply(e *dataset.Example) int {
+	if e.E1Pos < 0 || e.E2Pos < 0 {
+		return Abstain
+	}
+	e.EnsureTokens()
+	w := k.Window
+	if w == 0 {
+		w = DefaultEntityWindow
+	}
+	lo, hi := e.E1Pos, e.E2Pos
+	if lo > hi {
+		lo, hi = hi, lo
+	}
+	lo -= w
+	if lo < 0 {
+		lo = 0
+	}
+	hi += 2 + w // entity mentions are two tokens (first + last name)
+	if hi > len(e.Tokens) {
+		hi = len(e.Tokens)
+	}
+	if textproc.ContainsPhrase(e.Tokens[lo:hi], k.Keyword) {
+		return k.Class
+	}
+	return Abstain
+}
+
+// PredicateLF wraps an arbitrary predicate under a stable name: the LF
+// shape produced by code-generation systems such as ScriptoriumWS, whose
+// generated Python programs test properties beyond keyword containment.
+type PredicateLF struct {
+	// LFName uniquely identifies the predicate.
+	LFName string
+	// Class is the vote when the predicate fires.
+	Class int
+	// Fire reports whether the predicate holds for the example.
+	Fire func(e *dataset.Example) bool
+}
+
+// Name implements LabelFunction.
+func (p *PredicateLF) Name() string { return "pred:" + p.LFName }
+
+// TargetClass implements LabelFunction.
+func (p *PredicateLF) TargetClass() int { return p.Class }
+
+// Apply implements LabelFunction.
+func (p *PredicateLF) Apply(e *dataset.Example) int {
+	if p.Fire(e) {
+		return p.Class
+	}
+	return Abstain
+}
+
+// AnnotationLF stores one weak label per example, the shape produced by
+// PromptedLF-style exhaustive prompting: one LLM template applied to every
+// unlabeled instance yields one LF whose votes are the responses.
+// Annotations are keyed by example pointer, so the LF is bound to the
+// split it was built from and abstains elsewhere.
+type AnnotationLF struct {
+	LFName string
+	Votes  map[*dataset.Example]int
+}
+
+// Name implements LabelFunction.
+func (a *AnnotationLF) Name() string { return "ann:" + a.LFName }
+
+// TargetClass implements LabelFunction: annotation LFs emit per-instance
+// classes, so no single target class exists.
+func (a *AnnotationLF) TargetClass() int { return Abstain }
+
+// Apply implements LabelFunction.
+func (a *AnnotationLF) Apply(e *dataset.Example) int {
+	if v, ok := a.Votes[e]; ok {
+		return v
+	}
+	return Abstain
+}

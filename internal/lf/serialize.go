@@ -1,0 +1,90 @@
+package lf
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// LF sets are serializable so a labeling session's output can be stored,
+// versioned and reapplied — the artifact a weak-supervision team actually
+// ships. Keyword, entity-keyword and disjunction LFs round-trip;
+// PredicateLF (opaque code) and AnnotationLF (bound to a concrete split
+// by pointer) are rejected with descriptive errors.
+
+// lfRecord is the JSON form of one LF.
+type lfRecord struct {
+	Type     string   `json:"type"`
+	Keyword  string   `json:"keyword,omitempty"`
+	Keywords []string `json:"keywords,omitempty"`
+	Class    int      `json:"class"`
+	Name     string   `json:"name,omitempty"`
+	Window   int      `json:"window,omitempty"`
+	Entity   bool     `json:"entity_aware,omitempty"`
+}
+
+// JSON type tags.
+const (
+	typeKeyword       = "keyword"
+	typeEntityKeyword = "entity-keyword"
+	typeDisjunction   = "disjunction"
+)
+
+// MarshalLFs encodes an LF set as JSON.
+func MarshalLFs(lfs []LabelFunction) ([]byte, error) {
+	records := make([]lfRecord, 0, len(lfs))
+	for _, f := range lfs {
+		switch t := f.(type) {
+		case *KeywordLF:
+			records = append(records, lfRecord{Type: typeKeyword, Keyword: t.Keyword, Class: t.Class})
+		case *EntityKeywordLF:
+			records = append(records, lfRecord{
+				Type: typeEntityKeyword, Keyword: t.Keyword, Class: t.Class, Window: t.Window,
+			})
+		case *DisjunctionLF:
+			records = append(records, lfRecord{
+				Type: typeDisjunction, Keywords: t.Keywords, Class: t.Class,
+				Name: t.LFName, Window: t.Window, Entity: t.EntityAware,
+			})
+		default:
+			return nil, fmt.Errorf("lf: %s (%T) is not serializable", f.Name(), f)
+		}
+	}
+	return json.MarshalIndent(records, "", " ")
+}
+
+// UnmarshalLFs decodes an LF set written by MarshalLFs, revalidating
+// every keyword.
+func UnmarshalLFs(data []byte) ([]LabelFunction, error) {
+	var records []lfRecord
+	if err := json.Unmarshal(data, &records); err != nil {
+		return nil, fmt.Errorf("lf: decoding LF set: %w", err)
+	}
+	out := make([]LabelFunction, 0, len(records))
+	for i, r := range records {
+		switch r.Type {
+		case typeKeyword:
+			f, err := NewKeywordLF(r.Keyword, r.Class)
+			if err != nil {
+				return nil, fmt.Errorf("lf: record %d: %w", i, err)
+			}
+			out = append(out, f)
+		case typeEntityKeyword:
+			f, err := NewEntityKeywordLF(r.Keyword, r.Class)
+			if err != nil {
+				return nil, fmt.Errorf("lf: record %d: %w", i, err)
+			}
+			f.Window = r.Window
+			out = append(out, f)
+		case typeDisjunction:
+			f, err := NewDisjunctionLF(r.Name, r.Keywords, r.Class, r.Entity)
+			if err != nil {
+				return nil, fmt.Errorf("lf: record %d: %w", i, err)
+			}
+			f.Window = r.Window
+			out = append(out, f)
+		default:
+			return nil, fmt.Errorf("lf: record %d has unknown type %q", i, r.Type)
+		}
+	}
+	return out, nil
+}

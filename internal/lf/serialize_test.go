@@ -1,0 +1,120 @@
+package lf
+
+import (
+	"strings"
+	"testing"
+
+	"datasculpt/internal/dataset"
+)
+
+func TestDisjunctionLF(t *testing.T) {
+	f, err := NewDisjunctionLF("spamwords", []string{"Free Gift", "subscribe"}, 1, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := f.Apply(ex(0, "claim your free gift now")); got != 1 {
+		t.Errorf("first disjunct = %d", got)
+	}
+	if got := f.Apply(ex(1, "please subscribe today")); got != 1 {
+		t.Errorf("second disjunct = %d", got)
+	}
+	if got := f.Apply(ex(2, "lovely weather")); got != Abstain {
+		t.Errorf("no disjunct = %d", got)
+	}
+	if f.TargetClass() != 1 {
+		t.Error("target class")
+	}
+	if !strings.Contains(f.Name(), "free gift|subscribe") {
+		t.Errorf("name = %q", f.Name())
+	}
+}
+
+func TestDisjunctionLFEntityAware(t *testing.T) {
+	f, err := NewDisjunctionLF("rel", []string{"married", "wedded"}, 1, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := &dataset.Example{
+		Text:    "john smith married mary jones",
+		Entity1: "john smith", Entity2: "mary jones",
+		E1Pos: 0, E2Pos: 3,
+	}
+	e.EnsureTokens()
+	if got := f.Apply(e); got != 1 {
+		t.Errorf("in-window = %d", got)
+	}
+	if got := f.Apply(ex(0, "they married")); got != Abstain {
+		t.Errorf("no entities = %d", got)
+	}
+}
+
+func TestDisjunctionLFValidation(t *testing.T) {
+	if _, err := NewDisjunctionLF("", []string{"x"}, 0, false); err == nil {
+		t.Error("empty name accepted")
+	}
+	if _, err := NewDisjunctionLF("n", nil, 0, false); err == nil {
+		t.Error("no keywords accepted")
+	}
+	if _, err := NewDisjunctionLF("n", []string{"a b c d"}, 0, false); err == nil {
+		t.Error("4-gram keyword accepted")
+	}
+}
+
+func TestMarshalUnmarshalRoundTrip(t *testing.T) {
+	kw, _ := NewKeywordLF("free", 1)
+	ekw, _ := NewEntityKeywordLF("married", 1)
+	ekw.Window = 6
+	dis, _ := NewDisjunctionLF("grp", []string{"prize", "cash prize"}, 1, true)
+
+	data, err := MarshalLFs([]LabelFunction{kw, ekw, dis})
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := UnmarshalLFs(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != 3 {
+		t.Fatalf("decoded %d LFs", len(back))
+	}
+	if back[0].Name() != kw.Name() || back[1].Name() != ekw.Name() || back[2].Name() != dis.Name() {
+		t.Errorf("names differ after round trip: %s %s %s",
+			back[0].Name(), back[1].Name(), back[2].Name())
+	}
+	if got := back[1].(*EntityKeywordLF).Window; got != 6 {
+		t.Errorf("window lost: %d", got)
+	}
+	if got := back[2].(*DisjunctionLF); !got.EntityAware {
+		t.Error("entity-aware flag lost")
+	}
+	// behavior equivalence on a sample
+	probe := ex(0, "win a cash prize")
+	for i, f := range []LabelFunction{kw, ekw, dis} {
+		if f.Apply(probe) != back[i].Apply(probe) {
+			t.Errorf("LF %d behaves differently after round trip", i)
+		}
+	}
+}
+
+func TestMarshalRejectsOpaque(t *testing.T) {
+	pred := &PredicateLF{LFName: "p", Class: 0, Fire: func(*dataset.Example) bool { return true }}
+	if _, err := MarshalLFs([]LabelFunction{pred}); err == nil {
+		t.Error("predicate LF serialized")
+	}
+	ann := &AnnotationLF{LFName: "a"}
+	if _, err := MarshalLFs([]LabelFunction{ann}); err == nil {
+		t.Error("annotation LF serialized")
+	}
+}
+
+func TestUnmarshalErrors(t *testing.T) {
+	if _, err := UnmarshalLFs([]byte("not json")); err == nil {
+		t.Error("garbage accepted")
+	}
+	if _, err := UnmarshalLFs([]byte(`[{"type":"quantum","class":0}]`)); err == nil {
+		t.Error("unknown type accepted")
+	}
+	if _, err := UnmarshalLFs([]byte(`[{"type":"keyword","keyword":"","class":0}]`)); err == nil {
+		t.Error("invalid keyword accepted")
+	}
+}

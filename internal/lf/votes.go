@@ -1,0 +1,225 @@
+package lf
+
+import (
+	"fmt"
+
+	"datasculpt/internal/dataset"
+)
+
+// VoteMatrix holds the votes of m label functions over n examples in
+// column-major int8 storage (class indices are tiny; Agnews at full scale
+// is 96k × ~300 LFs, which fits in ~29MB this way).
+type VoteMatrix struct {
+	n, m  int
+	cols  [][]int8
+	names []string
+}
+
+// BuildVoteMatrix evaluates every LF over the indexed split.
+func BuildVoteMatrix(ix *Index, lfs []LabelFunction) *VoteMatrix {
+	vm := &VoteMatrix{
+		n:     ix.Size(),
+		m:     len(lfs),
+		cols:  make([][]int8, len(lfs)),
+		names: make([]string, len(lfs)),
+	}
+	split := ix.Split()
+	for j, f := range lfs {
+		col := make([]int8, vm.n)
+		for i := range col {
+			col[i] = Abstain
+		}
+		for _, id := range ix.ActiveDocs(f) {
+			col[id] = int8(f.Apply(split[id]))
+		}
+		vm.cols[j] = col
+		vm.names[j] = f.Name()
+	}
+	return vm
+}
+
+// NumExamples returns n.
+func (vm *VoteMatrix) NumExamples() int { return vm.n }
+
+// NumLFs returns m.
+func (vm *VoteMatrix) NumLFs() int { return vm.m }
+
+// Vote returns the vote of LF j on example i (Abstain when inactive).
+func (vm *VoteMatrix) Vote(i, j int) int { return int(vm.cols[j][i]) }
+
+// Row copies example i's votes into dst (length m) and returns it;
+// a nil dst allocates.
+func (vm *VoteMatrix) Row(i int, dst []int) []int {
+	if dst == nil {
+		dst = make([]int, vm.m)
+	}
+	for j := 0; j < vm.m; j++ {
+		dst[j] = int(vm.cols[j][i])
+	}
+	return dst
+}
+
+// Coverage returns the fraction of examples on which LF j is active —
+// the "LF Cov." statistic of Table 2.
+func (vm *VoteMatrix) Coverage(j int) float64 {
+	if vm.n == 0 {
+		return 0
+	}
+	active := 0
+	for _, v := range vm.cols[j] {
+		if v != Abstain {
+			active++
+		}
+	}
+	return float64(active) / float64(vm.n)
+}
+
+// MeanCoverage averages Coverage over all LFs.
+func (vm *VoteMatrix) MeanCoverage() float64 {
+	if vm.m == 0 {
+		return 0
+	}
+	var s float64
+	for j := 0; j < vm.m; j++ {
+		s += vm.Coverage(j)
+	}
+	return s / float64(vm.m)
+}
+
+// Covered reports, per example, whether at least one LF is active.
+func (vm *VoteMatrix) Covered() []bool {
+	out := make([]bool, vm.n)
+	for j := 0; j < vm.m; j++ {
+		for i, v := range vm.cols[j] {
+			if v != Abstain {
+				out[i] = true
+			}
+		}
+	}
+	return out
+}
+
+// TotalCoverage returns the fraction of examples covered by any LF — the
+// "Total Cov." statistic of Table 2.
+func (vm *VoteMatrix) TotalCoverage() float64 {
+	if vm.n == 0 {
+		return 0
+	}
+	covered := vm.Covered()
+	c := 0
+	for _, b := range covered {
+		if b {
+			c++
+		}
+	}
+	return float64(c) / float64(vm.n)
+}
+
+// LFAccuracy returns the accuracy of LF j on the examples where it is
+// active and the gold label is known, together with the number of such
+// examples. Examples with dataset.NoLabel gold are skipped.
+func (vm *VoteMatrix) LFAccuracy(j int, gold []int) (acc float64, active int) {
+	if len(gold) != vm.n {
+		panic(fmt.Sprintf("lf: gold length %d != examples %d", len(gold), vm.n))
+	}
+	correct := 0
+	for i, v := range vm.cols[j] {
+		if v == Abstain || gold[i] == dataset.NoLabel {
+			continue
+		}
+		active++
+		if int(v) == gold[i] {
+			correct++
+		}
+	}
+	if active == 0 {
+		return 0, 0
+	}
+	return float64(correct) / float64(active), active
+}
+
+// MeanLFAccuracy averages LF accuracy over LFs that are active on at
+// least one labeled example — the "LF Acc." statistic of Table 2. The
+// boolean result is false when no LF qualifies (e.g. an unlabeled split).
+func (vm *VoteMatrix) MeanLFAccuracy(gold []int) (float64, bool) {
+	var s float64
+	count := 0
+	for j := 0; j < vm.m; j++ {
+		acc, active := vm.LFAccuracy(j, gold)
+		if active == 0 {
+			continue
+		}
+		s += acc
+		count++
+	}
+	if count == 0 {
+		return 0, false
+	}
+	return s / float64(count), true
+}
+
+// MajorityVotes returns, per example, the plurality class among active
+// votes (ties broken toward the lowest class), or Abstain for uncovered
+// examples. Used for quick diagnostics and the majority-vote label model.
+func (vm *VoteMatrix) MajorityVotes(numClasses int) []int {
+	out := make([]int, vm.n)
+	counts := make([]int, numClasses)
+	for i := 0; i < vm.n; i++ {
+		for c := range counts {
+			counts[c] = 0
+		}
+		any := false
+		for j := 0; j < vm.m; j++ {
+			v := vm.cols[j][i]
+			if v == Abstain {
+				continue
+			}
+			counts[v]++
+			any = true
+		}
+		if !any {
+			out[i] = Abstain
+			continue
+		}
+		best := 0
+		for c := 1; c < numClasses; c++ {
+			if counts[c] > counts[best] {
+				best = c
+			}
+		}
+		out[i] = best
+	}
+	return out
+}
+
+// Consensus computes the agreement ratio of two vote columns: the number
+// of examples where both are active with equal votes, divided by the
+// number where either is active (intersection-over-union of agreeing
+// activations). This is the redundancy metric of the paper's filter.
+func Consensus(a, b []int8) float64 {
+	if len(a) != len(b) {
+		panic("lf: consensus over unequal columns")
+	}
+	inter, union := 0, 0
+	for i := range a {
+		av, bv := a[i], b[i]
+		if av == Abstain && bv == Abstain {
+			continue
+		}
+		union++
+		if av != Abstain && av == bv {
+			inter++
+		}
+	}
+	if union == 0 {
+		return 0
+	}
+	return float64(inter) / float64(union)
+}
+
+// Column exposes the raw votes of LF j (shared storage; callers must not
+// mutate).
+func (vm *VoteMatrix) Column(j int) []int8 { return vm.cols[j] }
+
+// Names returns the LF names in column order (shared storage).
+func (vm *VoteMatrix) Names() []string { return vm.names }

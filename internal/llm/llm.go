@@ -1,0 +1,130 @@
+// Package llm defines the chat-model abstraction DataSculpt prompts
+// against and provides a deterministic simulated LLM that stands in for
+// the OpenAI (GPT-3.5, GPT-4) and Anyscale (Llama2-CHAT) endpoints the
+// paper uses.
+//
+// The framework observes an LLM only through prompt-in/text-out plus
+// billed token counts, so the simulator reproduces exactly the behaviours
+// the paper measures: few-shot keyword extraction of varying fidelity per
+// model tier, chain-of-thought and in-context-example quality effects,
+// format violations that the validity filter must catch, reluctance to
+// produce negative-class keywords (the default-class motivation), and
+// per-token pricing for the cost analysis of Figures 3-4. See DESIGN.md
+// §2 for the substitution argument and the calibration targets.
+package llm
+
+import (
+	"fmt"
+
+	"datasculpt/internal/textproc"
+)
+
+// Role of a chat message.
+type Role string
+
+// Chat roles, mirroring the OpenAI chat format.
+const (
+	System Role = "system"
+	User   Role = "user"
+)
+
+// Message is one chat turn.
+type Message struct {
+	Role    Role
+	Content string
+}
+
+// Usage records billed token counts of one call.
+type Usage struct {
+	PromptTokens     int
+	CompletionTokens int
+}
+
+// Total returns prompt+completion tokens.
+func (u Usage) Total() int { return u.PromptTokens + u.CompletionTokens }
+
+// Add accumulates another usage record.
+func (u *Usage) Add(o Usage) {
+	u.PromptTokens += o.PromptTokens
+	u.CompletionTokens += o.CompletionTokens
+}
+
+// Response is one sampled completion.
+type Response struct {
+	Content string
+	Usage   Usage
+}
+
+// ChatModel is the provider abstraction: everything DataSculpt needs from
+// an LLM endpoint. A production deployment would implement it with an
+// HTTP client; this repo implements it with Simulated.
+type ChatModel interface {
+	// ModelName returns the provider model identifier.
+	ModelName() string
+	// Chat samples n completions for the conversation at the given
+	// temperature and reports per-sample usage.
+	Chat(messages []Message, temperature float64, n int) ([]Response, error)
+	// Pricing returns the model's dollar cost per 1M prompt and
+	// completion tokens.
+	Pricing() (promptPer1M, completionPer1M float64)
+}
+
+// Meter accumulates usage and cost across calls to one model. It is not
+// safe for concurrent use; each pipeline run owns its meter.
+type Meter struct {
+	model            string
+	promptPer1M      float64
+	completionPer1M  float64
+	Calls            int
+	PromptTokens     int
+	CompletionTokens int
+}
+
+// NewMeter creates a meter priced for the given model.
+func NewMeter(m ChatModel) *Meter {
+	p, c := m.Pricing()
+	return &Meter{model: m.ModelName(), promptPer1M: p, completionPer1M: c}
+}
+
+// Record accumulates the usage of one call's responses.
+func (mt *Meter) Record(responses []Response) {
+	mt.Calls++
+	for _, r := range responses {
+		mt.PromptTokens += r.Usage.PromptTokens
+		mt.CompletionTokens += r.Usage.CompletionTokens
+	}
+}
+
+// TotalTokens returns all billed tokens so far.
+func (mt *Meter) TotalTokens() int { return mt.PromptTokens + mt.CompletionTokens }
+
+// CostUSD returns the accumulated dollar cost.
+func (mt *Meter) CostUSD() float64 {
+	return float64(mt.PromptTokens)/1e6*mt.promptPer1M +
+		float64(mt.CompletionTokens)/1e6*mt.completionPer1M
+}
+
+// Merge adds another meter's counts into this one (same model expected;
+// costs are computed with this meter's prices).
+func (mt *Meter) Merge(o *Meter) {
+	mt.Calls += o.Calls
+	mt.PromptTokens += o.PromptTokens
+	mt.CompletionTokens += o.CompletionTokens
+}
+
+// String summarizes the meter.
+func (mt *Meter) String() string {
+	return fmt.Sprintf("%s: %d calls, %d prompt + %d completion tokens, $%.4f",
+		mt.model, mt.Calls, mt.PromptTokens, mt.CompletionTokens, mt.CostUSD())
+}
+
+// CountMessageTokens estimates the billed prompt tokens of a message
+// list, including a small per-message framing overhead as the OpenAI
+// chat format incurs.
+func CountMessageTokens(messages []Message) int {
+	total := 0
+	for _, m := range messages {
+		total += textproc.ApproxLLMTokens(m.Content) + 4
+	}
+	return total
+}

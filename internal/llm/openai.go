@@ -1,0 +1,183 @@
+package llm
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+)
+
+// OpenAIClient implements ChatModel against any OpenAI-compatible
+// chat-completions endpoint (api.openai.com, Anyscale Endpoints, vLLM,
+// llama.cpp server, ...). The reproduction runs fully offline on the
+// Simulated model; this client exists so the identical pipeline can be
+// pointed at a real provider — swap the constructor and nothing else
+// changes.
+type OpenAIClient struct {
+	// BaseURL is the API root, e.g. "https://api.openai.com/v1".
+	BaseURL string
+	// APIKey is sent as a bearer token when non-empty.
+	APIKey string
+	// Model is the provider model identifier.
+	Model string
+	// PromptPrice/CompletionPrice are USD per 1M tokens, used for the
+	// Meter's cost accounting (the API does not return prices).
+	PromptPrice, CompletionPrice float64
+	// HTTPClient overrides the default client (30s timeout).
+	HTTPClient *http.Client
+	// MaxRetries bounds retry attempts on 429/5xx responses (default 3).
+	MaxRetries int
+	// RetryDelay is the base backoff delay (default 500ms, doubled per
+	// attempt).
+	RetryDelay time.Duration
+}
+
+// NewOpenAIClient constructs a client with defaults.
+func NewOpenAIClient(baseURL, apiKey, model string) *OpenAIClient {
+	return &OpenAIClient{
+		BaseURL:    baseURL,
+		APIKey:     apiKey,
+		Model:      model,
+		HTTPClient: &http.Client{Timeout: 30 * time.Second},
+		MaxRetries: 3,
+		RetryDelay: 500 * time.Millisecond,
+	}
+}
+
+// ModelName implements ChatModel.
+func (c *OpenAIClient) ModelName() string { return c.Model }
+
+// Pricing implements ChatModel.
+func (c *OpenAIClient) Pricing() (float64, float64) {
+	return c.PromptPrice, c.CompletionPrice
+}
+
+// chatRequest mirrors the chat-completions request body.
+type chatRequest struct {
+	Model       string        `json:"model"`
+	Messages    []chatMessage `json:"messages"`
+	Temperature float64       `json:"temperature"`
+	N           int           `json:"n"`
+}
+
+type chatMessage struct {
+	Role    string `json:"role"`
+	Content string `json:"content"`
+}
+
+// chatResponse mirrors the response body (the fields this client needs).
+type chatResponse struct {
+	Choices []struct {
+		Message chatMessage `json:"message"`
+	} `json:"choices"`
+	Usage struct {
+		PromptTokens     int `json:"prompt_tokens"`
+		CompletionTokens int `json:"completion_tokens"`
+	} `json:"usage"`
+	Error *struct {
+		Message string `json:"message"`
+		Type    string `json:"type"`
+	} `json:"error"`
+}
+
+// Chat implements ChatModel.
+func (c *OpenAIClient) Chat(messages []Message, temperature float64, n int) ([]Response, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("llm: n=%d samples requested", n)
+	}
+	body := chatRequest{
+		Model:       c.Model,
+		Temperature: temperature,
+		N:           n,
+	}
+	for _, m := range messages {
+		body.Messages = append(body.Messages, chatMessage{Role: string(m.Role), Content: m.Content})
+	}
+	payload, err := json.Marshal(body)
+	if err != nil {
+		return nil, fmt.Errorf("llm: encoding request: %w", err)
+	}
+
+	client := c.HTTPClient
+	if client == nil {
+		client = &http.Client{Timeout: 30 * time.Second}
+	}
+	retries := c.MaxRetries
+	if retries <= 0 {
+		retries = 3
+	}
+	delay := c.RetryDelay
+	if delay <= 0 {
+		delay = 500 * time.Millisecond
+	}
+
+	var lastErr error
+	for attempt := 0; attempt <= retries; attempt++ {
+		if attempt > 0 {
+			time.Sleep(delay)
+			delay *= 2
+		}
+		resp, err := c.doRequest(client, payload)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		return resp, nil
+	}
+	return nil, fmt.Errorf("llm: chat request failed after %d attempts: %w", retries+1, lastErr)
+}
+
+// doRequest performs one HTTP round trip.
+func (c *OpenAIClient) doRequest(client *http.Client, payload []byte) ([]Response, error) {
+	req, err := http.NewRequestWithContext(context.Background(), http.MethodPost,
+		c.BaseURL+"/chat/completions", bytes.NewReader(payload))
+	if err != nil {
+		return nil, fmt.Errorf("llm: building request: %w", err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	if c.APIKey != "" {
+		req.Header.Set("Authorization", "Bearer "+c.APIKey)
+	}
+	httpResp, err := client.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer httpResp.Body.Close()
+	raw, err := io.ReadAll(io.LimitReader(httpResp.Body, 10<<20))
+	if err != nil {
+		return nil, fmt.Errorf("llm: reading response: %w", err)
+	}
+	if httpResp.StatusCode == http.StatusTooManyRequests || httpResp.StatusCode >= 500 {
+		return nil, fmt.Errorf("llm: retryable status %d: %.200s", httpResp.StatusCode, raw)
+	}
+	var parsed chatResponse
+	if err := json.Unmarshal(raw, &parsed); err != nil {
+		return nil, fmt.Errorf("llm: decoding response: %w", err)
+	}
+	if parsed.Error != nil {
+		return nil, fmt.Errorf("llm: API error (%s): %s", parsed.Error.Type, parsed.Error.Message)
+	}
+	if httpResp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("llm: status %d: %.200s", httpResp.StatusCode, raw)
+	}
+	if len(parsed.Choices) == 0 {
+		return nil, fmt.Errorf("llm: response has no choices")
+	}
+	out := make([]Response, len(parsed.Choices))
+	// The API reports usage for the whole call; attribute the prompt to
+	// the first choice and split completion tokens evenly so the Meter's
+	// totals match the billed numbers.
+	per := parsed.Usage.CompletionTokens / len(parsed.Choices)
+	for i, choice := range parsed.Choices {
+		out[i] = Response{
+			Content: choice.Message.Content,
+			Usage:   Usage{CompletionTokens: per},
+		}
+	}
+	out[0].Usage.PromptTokens = parsed.Usage.PromptTokens
+	out[0].Usage.CompletionTokens += parsed.Usage.CompletionTokens - per*len(parsed.Choices)
+	return out, nil
+}

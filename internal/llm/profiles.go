@@ -1,0 +1,177 @@
+package llm
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Profile calibrates one simulated model tier. The knobs map one-to-one
+// onto failure modes the paper observes (Table 3 and §4.3):
+//
+//   - GPT-4 spots the most indicative keywords and mislabels least;
+//   - GPT-3.5 and Llama2-70b are close behind;
+//   - the small Llama2 models misformat responses, drift off-task
+//     ("sometimes generate artificial examples instead of addressing the
+//     query") and mislabel more;
+//   - every model is reluctant to emit keywords for "absence" classes
+//     (the default-class motivation of §3.6), with weaker models more so.
+type Profile struct {
+	// Name is the provider model identifier.
+	Name string
+	// KeywordRecall is the probability of spotting each indicative
+	// keyword present in the query.
+	KeywordRecall float64
+	// SalienceFloor and SalienceSlope shape how spotting probability
+	// depends on a phrase's signal strength: salience = KeywordRecall ×
+	// (SalienceFloor + SalienceSlope × strength). Strong models are
+	// selective (low floor, steep slope — they surface the most precise
+	// phrases), small models spot indiscriminately (high floor, flat
+	// slope), which is the second mechanism behind Table 3's tier
+	// separation in post-filter LF accuracy.
+	SalienceFloor, SalienceSlope float64
+	// LabelAccuracy is the base probability of reasoning to the correct
+	// label given spotted evidence.
+	LabelAccuracy float64
+	// NoiseKeywordRate is the probability of also emitting a
+	// non-indicative word from the query as a keyword.
+	NoiseKeywordRate float64
+	// GenericKeywordRate is the probability of padding the keyword list
+	// with a plausible-but-weak class word from world knowledge that is
+	// not grounded in the query — the dominant failure of the small Llama
+	// tiers. Such keywords are real class signals with mediocre precision
+	// (0.6-0.75), so they pass the accuracy filter yet drag the mean LF
+	// accuracy down, which is how Table 3's tier separation arises.
+	GenericKeywordRate float64
+	// OffTask is the probability of an off-task or malformed response
+	// that fails the validity filter (fabricated examples, missing
+	// Keywords/Label lines).
+	OffTask float64
+	// NegClassReluctance is the probability of returning no keywords when
+	// the believed class is an "absence" class (class 0 of a default-class
+	// task).
+	NegClassReluctance float64
+	// CoTBoost is added to LabelAccuracy when the prompt requests
+	// step-by-step reasoning.
+	CoTBoost float64
+	// RelevanceBoost scales with the lexical overlap between in-context
+	// examples and the query (how KATE retrieval helps mechanically).
+	RelevanceBoost float64
+	// PromptPricePer1M / CompletionPricePer1M are the published API
+	// prices in USD per million tokens.
+	PromptPricePer1M     float64
+	CompletionPricePer1M float64
+}
+
+// Published prices: the paper's footnote for gpt-3.5-turbo-0613, OpenAI's
+// 2023 price sheet for gpt-4-0613, Anyscale Endpoints for Llama2-CHAT.
+var profiles = map[string]Profile{
+	"gpt-3.5-turbo-0613": {
+		Name:                 "gpt-3.5-turbo-0613",
+		SalienceFloor:        0.5,
+		SalienceSlope:        0.62,
+		GenericKeywordRate:   0.12,
+		KeywordRecall:        0.78,
+		LabelAccuracy:        0.87,
+		NoiseKeywordRate:     0.12,
+		OffTask:              0.02,
+		NegClassReluctance:   0.75,
+		CoTBoost:             0.03,
+		RelevanceBoost:       0.04,
+		PromptPricePer1M:     1.50,
+		CompletionPricePer1M: 2.00,
+	},
+	"gpt-4-0613": {
+		Name:                 "gpt-4-0613",
+		SalienceFloor:        -0.3,
+		SalienceSlope:        1.35,
+		GenericKeywordRate:   0.03,
+		KeywordRecall:        0.90,
+		LabelAccuracy:        0.95,
+		NoiseKeywordRate:     0.06,
+		OffTask:              0.005,
+		NegClassReluctance:   0.85,
+		CoTBoost:             0.02,
+		RelevanceBoost:       0.02,
+		PromptPricePer1M:     30.0,
+		CompletionPricePer1M: 60.0,
+	},
+	"llama2-7b-chat": {
+		Name:                 "llama2-7b-chat",
+		SalienceFloor:        0.92,
+		SalienceSlope:        0.12,
+		GenericKeywordRate:   0.75,
+		KeywordRecall:        0.70,
+		LabelAccuracy:        0.74,
+		NoiseKeywordRate:     0.30,
+		OffTask:              0.14,
+		NegClassReluctance:   0.80,
+		CoTBoost:             0.03,
+		RelevanceBoost:       0.05,
+		PromptPricePer1M:     0.15,
+		CompletionPricePer1M: 0.15,
+	},
+	"llama2-13b-chat": {
+		Name:                 "llama2-13b-chat",
+		SalienceFloor:        0.85,
+		SalienceSlope:        0.22,
+		GenericKeywordRate:   0.60,
+		KeywordRecall:        0.68,
+		LabelAccuracy:        0.76,
+		NoiseKeywordRate:     0.26,
+		OffTask:              0.10,
+		NegClassReluctance:   0.78,
+		CoTBoost:             0.03,
+		RelevanceBoost:       0.05,
+		PromptPricePer1M:     0.25,
+		CompletionPricePer1M: 0.25,
+	},
+	"llama2-70b-chat": {
+		Name:                 "llama2-70b-chat",
+		SalienceFloor:        0.6,
+		SalienceSlope:        0.5,
+		GenericKeywordRate:   0.2,
+		KeywordRecall:        0.76,
+		LabelAccuracy:        0.85,
+		NoiseKeywordRate:     0.15,
+		OffTask:              0.04,
+		NegClassReluctance:   0.88,
+		CoTBoost:             0.03,
+		RelevanceBoost:       0.04,
+		PromptPricePer1M:     1.00,
+		CompletionPricePer1M: 1.00,
+	},
+}
+
+// Aliases map the paper's shorthand model names onto profiles.
+var aliases = map[string]string{
+	"gpt-3.5":    "gpt-3.5-turbo-0613",
+	"gpt-4":      "gpt-4-0613",
+	"llama2-7b":  "llama2-7b-chat",
+	"llama2-13b": "llama2-13b-chat",
+	"llama2-70b": "llama2-70b-chat",
+	"llama-7b":   "llama2-7b-chat",
+	"llama-13b":  "llama2-13b-chat",
+	"llama-70b":  "llama2-70b-chat",
+}
+
+// ProfileByName resolves a model name or alias.
+func ProfileByName(name string) (Profile, error) {
+	if canonical, ok := aliases[name]; ok {
+		name = canonical
+	}
+	p, ok := profiles[name]
+	if !ok {
+		return Profile{}, fmt.Errorf("llm: unknown model %q (have %v)", name, ProfileNames())
+	}
+	return p, nil
+}
+
+// ProfileNames lists canonical model names, sorted.
+func ProfileNames() []string {
+	out := make([]string, 0, len(profiles))
+	for n := range profiles {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,87 @@
+package llm
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"time"
+)
+
+// Transcript wraps any ChatModel and appends every call as one JSON line
+// to a writer: the prompt, every sampled completion, usage and latency.
+// Transcripts make LLM-driven labeling runs auditable and replayable —
+// with a real provider they are the record of what was actually asked
+// and billed; with the simulator they document a run end to end.
+type Transcript struct {
+	// Inner is the wrapped model.
+	Inner ChatModel
+	// W receives one JSON object per Chat call.
+	W io.Writer
+	// Clock overrides time.Now for tests.
+	Clock func() time.Time
+
+	calls int
+}
+
+// NewTranscript wraps a model.
+func NewTranscript(inner ChatModel, w io.Writer) *Transcript {
+	return &Transcript{Inner: inner, W: w}
+}
+
+// transcriptRecord is the JSONL row.
+type transcriptRecord struct {
+	Call        int       `json:"call"`
+	Time        time.Time `json:"time"`
+	Model       string    `json:"model"`
+	Temperature float64   `json:"temperature"`
+	N           int       `json:"n"`
+	Messages    []Message `json:"messages"`
+	Responses   []string  `json:"responses,omitempty"`
+	Usage       Usage     `json:"usage"`
+	LatencyMS   int64     `json:"latency_ms"`
+	Error       string    `json:"error,omitempty"`
+}
+
+// ModelName implements ChatModel.
+func (t *Transcript) ModelName() string { return t.Inner.ModelName() }
+
+// Pricing implements ChatModel.
+func (t *Transcript) Pricing() (float64, float64) { return t.Inner.Pricing() }
+
+// Chat implements ChatModel, recording the call regardless of outcome.
+func (t *Transcript) Chat(messages []Message, temperature float64, n int) ([]Response, error) {
+	now := time.Now
+	if t.Clock != nil {
+		now = t.Clock
+	}
+	start := now()
+	responses, err := t.Inner.Chat(messages, temperature, n)
+	t.calls++
+	rec := transcriptRecord{
+		Call:        t.calls,
+		Time:        start,
+		Model:       t.Inner.ModelName(),
+		Temperature: temperature,
+		N:           n,
+		Messages:    messages,
+		LatencyMS:   now().Sub(start).Milliseconds(),
+	}
+	if err != nil {
+		rec.Error = err.Error()
+	}
+	for _, r := range responses {
+		rec.Responses = append(rec.Responses, r.Content)
+		rec.Usage.Add(r.Usage)
+	}
+	if encErr := json.NewEncoder(t.W).Encode(rec); encErr != nil {
+		// a broken transcript sink must not silently lose labeling work;
+		// surface it alongside any inner error
+		if err == nil {
+			return responses, fmt.Errorf("llm: writing transcript: %w", encErr)
+		}
+	}
+	return responses, err
+}
+
+// Calls returns how many Chat calls have been recorded.
+func (t *Transcript) Calls() int { return t.calls }

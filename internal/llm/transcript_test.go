@@ -1,0 +1,103 @@
+package llm
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestTranscriptRecordsCalls(t *testing.T) {
+	d := youtubeDS(t)
+	inner, err := NewSimulated("gpt-3.5", d, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	tr := NewTranscript(inner, &buf)
+	fixed := time.Date(2026, 7, 6, 12, 0, 0, 0, time.UTC)
+	tr.Clock = func() time.Time { return fixed }
+
+	if _, err := tr.Chat(basePrompt("subscribe please"), 0.7, 3); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tr.Chat(basePrompt("lovely melody"), 0.7, 1); err != nil {
+		t.Fatal(err)
+	}
+	if tr.Calls() != 2 {
+		t.Errorf("calls = %d", tr.Calls())
+	}
+	if tr.ModelName() != inner.ModelName() {
+		t.Error("model name not forwarded")
+	}
+
+	scanner := bufio.NewScanner(&buf)
+	var rows []transcriptRecord
+	for scanner.Scan() {
+		var rec transcriptRecord
+		if err := json.Unmarshal(scanner.Bytes(), &rec); err != nil {
+			t.Fatalf("bad JSONL row: %v", err)
+		}
+		rows = append(rows, rec)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	if rows[0].Call != 1 || rows[1].Call != 2 {
+		t.Errorf("call numbering: %d, %d", rows[0].Call, rows[1].Call)
+	}
+	if rows[0].N != 3 || len(rows[0].Responses) != 3 {
+		t.Errorf("row 0 responses = %d for n=%d", len(rows[0].Responses), rows[0].N)
+	}
+	if rows[0].Usage.Total() <= 0 {
+		t.Error("usage not aggregated")
+	}
+	if !rows[0].Time.Equal(fixed) {
+		t.Errorf("time = %v", rows[0].Time)
+	}
+	if !strings.Contains(rows[1].Messages[1].Content, "lovely melody") {
+		t.Error("prompt not recorded")
+	}
+}
+
+// failingModel always errors, to test error recording.
+type failingModel struct{}
+
+func (failingModel) ModelName() string           { return "failing" }
+func (failingModel) Pricing() (float64, float64) { return 0, 0 }
+func (failingModel) Chat([]Message, float64, int) ([]Response, error) {
+	return nil, errors.New("boom")
+}
+
+func TestTranscriptRecordsErrors(t *testing.T) {
+	var buf bytes.Buffer
+	tr := NewTranscript(failingModel{}, &buf)
+	if _, err := tr.Chat([]Message{{Role: User, Content: "Query: x"}}, 0, 1); err == nil {
+		t.Fatal("inner error swallowed")
+	}
+	var rec transcriptRecord
+	if err := json.Unmarshal(buf.Bytes(), &rec); err != nil {
+		t.Fatal(err)
+	}
+	if rec.Error != "boom" {
+		t.Errorf("recorded error = %q", rec.Error)
+	}
+}
+
+// brokenWriter fails every write.
+type brokenWriter struct{}
+
+func (brokenWriter) Write([]byte) (int, error) { return 0, errors.New("disk full") }
+
+func TestTranscriptSurfacesSinkErrors(t *testing.T) {
+	d := youtubeDS(t)
+	inner, _ := NewSimulated("gpt-3.5", d, 9)
+	tr := NewTranscript(inner, brokenWriter{})
+	if _, err := tr.Chat(basePrompt("x y z"), 0.7, 1); err == nil ||
+		!strings.Contains(err.Error(), "transcript") {
+		t.Errorf("sink error not surfaced: %v", err)
+	}
+}

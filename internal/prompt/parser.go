@@ -1,0 +1,114 @@
+package prompt
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Parsed is the structured content of one LLM response.
+type Parsed struct {
+	// Keywords are the raw keyword phrases (possibly empty when the model
+	// declined to provide any, e.g. "Keywords: none").
+	Keywords []string
+	// Label is the predicted class.
+	Label int
+	// Explanation is the chain-of-thought text, if any.
+	Explanation string
+}
+
+// ParseResponse extracts keywords and label from a completion in the
+// Figure 2 output format. It returns an error for malformed responses
+// (missing Keywords or Label lines, non-integer labels) — those count as
+// validity-filter rejections upstream.
+func ParseResponse(content string) (*Parsed, error) {
+	p := &Parsed{Label: -1}
+	haveKeywords := false
+	for _, line := range strings.Split(content, "\n") {
+		line = strings.TrimSpace(line)
+		switch {
+		case strings.HasPrefix(line, "Explanation:"):
+			p.Explanation = strings.TrimSpace(strings.TrimPrefix(line, "Explanation:"))
+		case strings.HasPrefix(line, "Keywords:"):
+			haveKeywords = true
+			raw := strings.TrimSpace(strings.TrimPrefix(line, "Keywords:"))
+			if raw == "" || strings.EqualFold(raw, "none") {
+				continue
+			}
+			for _, k := range strings.Split(raw, ",") {
+				k = strings.TrimSpace(k)
+				if k != "" {
+					p.Keywords = append(p.Keywords, k)
+				}
+			}
+		case strings.HasPrefix(line, "Label:"):
+			raw := strings.TrimSpace(strings.TrimPrefix(line, "Label:"))
+			v, err := strconv.Atoi(raw)
+			if err != nil {
+				return nil, fmt.Errorf("prompt: non-integer label %q", raw)
+			}
+			p.Label = v
+		}
+	}
+	if !haveKeywords {
+		return nil, fmt.Errorf("prompt: response has no Keywords line")
+	}
+	if p.Label < 0 {
+		return nil, fmt.Errorf("prompt: response has no Label line")
+	}
+	return p, nil
+}
+
+// SelfConsistency aggregates multiple sampled responses (Wang et al.
+// 2022): the label is decided by majority vote over parseable samples,
+// and the keyword set is the union of keywords from samples that voted
+// for the winning label, restricted to keywords proposed by at least two
+// such samples (when four or more samples parsed). Consistency applies
+// to the keywords as well as the label: a phrase the model surfaces once
+// across ten samples is noise, while genuinely indicative phrases recur.
+// The support threshold keeps SC's larger, more diverse LF sets without
+// flooding the filters with one-off padding words.
+func SelfConsistency(responses []string) (*Parsed, error) {
+	var parsed []*Parsed
+	for _, r := range responses {
+		p, err := ParseResponse(r)
+		if err != nil {
+			continue // malformed samples are simply dropped
+		}
+		parsed = append(parsed, p)
+	}
+	if len(parsed) == 0 {
+		return nil, fmt.Errorf("prompt: no parseable response among %d samples", len(responses))
+	}
+	votes := make(map[int]int)
+	for _, p := range parsed {
+		votes[p.Label]++
+	}
+	winner, best := -1, -1
+	for label, c := range votes {
+		if c > best || (c == best && label < winner) {
+			winner, best = label, c
+		}
+	}
+	minSupport := 1
+	if best >= 4 {
+		minSupport = 2
+	}
+	out := &Parsed{Label: winner}
+	support := make(map[string]int)
+	for _, p := range parsed {
+		if p.Label != winner {
+			continue
+		}
+		if out.Explanation == "" {
+			out.Explanation = p.Explanation
+		}
+		for _, k := range p.Keywords {
+			support[k]++
+			if support[k] == minSupport {
+				out.Keywords = append(out.Keywords, k)
+			}
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,161 @@
+package prompt
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"datasculpt/internal/dataset"
+	"datasculpt/internal/textproc"
+)
+
+// DefaultShots is the number of in-context examples per prompt (the paper
+// selects ten examples per dataset).
+const DefaultShots = 10
+
+// ExampleSelector chooses annotated in-context examples for one query.
+type ExampleSelector interface {
+	// Name identifies the strategy in reports.
+	Name() string
+	// Select returns up to k demonstrations for the query instance.
+	Select(query *dataset.Example, k int) []Demonstration
+}
+
+// ClassBalanced selects a fixed, class-balanced demonstration set from
+// the validation split, annotated once up front — the paper's default
+// ("we select ten examples per dataset from the validation set ... and
+// manually provide keywords and explanations"). The same demonstrations
+// are reused for every query.
+type ClassBalanced struct {
+	demos []Demonstration
+}
+
+// NewClassBalanced samples k validation examples balanced across classes.
+func NewClassBalanced(d *dataset.Dataset, k int, seed int64) (*ClassBalanced, error) {
+	if k <= 0 {
+		k = DefaultShots
+	}
+	rng := rand.New(rand.NewSource(seed))
+	byClass := make([][]*dataset.Example, d.NumClasses())
+	for _, e := range d.Valid {
+		byClass[e.Label] = append(byClass[e.Label], e)
+	}
+	for c, list := range byClass {
+		if len(list) == 0 {
+			return nil, fmt.Errorf("class-balanced selector: class %d absent from validation split", c)
+		}
+	}
+	sel := &ClassBalanced{}
+	perClass := k / d.NumClasses()
+	if perClass == 0 {
+		perClass = 1
+	}
+	for c, list := range byClass {
+		idx := rng.Perm(len(list))
+		take := perClass
+		// spread the remainder over the first classes
+		if rem := k - perClass*d.NumClasses(); c < rem {
+			take++
+		}
+		if take > len(idx) {
+			take = len(idx)
+		}
+		for _, i := range idx[:take] {
+			sel.demos = append(sel.demos, AnnotateDemonstration(d, list[i]))
+		}
+	}
+	// interleave classes so the prompt alternates labels
+	sort.SliceStable(sel.demos, func(i, j int) bool {
+		return sel.demos[i].Label < sel.demos[j].Label
+	})
+	interleaved := make([]Demonstration, 0, len(sel.demos))
+	buckets := make([][]Demonstration, d.NumClasses())
+	for _, demo := range sel.demos {
+		buckets[demo.Label] = append(buckets[demo.Label], demo)
+	}
+	for len(interleaved) < len(sel.demos) {
+		for c := range buckets {
+			if len(buckets[c]) > 0 {
+				interleaved = append(interleaved, buckets[c][0])
+				buckets[c] = buckets[c][1:]
+			}
+		}
+	}
+	sel.demos = interleaved
+	return sel, nil
+}
+
+// Name implements ExampleSelector.
+func (s *ClassBalanced) Name() string { return "class-balanced" }
+
+// Select implements ExampleSelector: the fixed set, clipped to k.
+func (s *ClassBalanced) Select(_ *dataset.Example, k int) []Demonstration {
+	if k <= 0 || k > len(s.demos) {
+		k = len(s.demos)
+	}
+	return s.demos[:k]
+}
+
+// KATE selects the validation examples nearest to the query in feature
+// space (Liu et al. 2021). Annotations are generated automatically (the
+// paper uses the LLM itself for this since manual annotation per query is
+// impractical; here the same annotation routine plays that role — see
+// AnnotateDemonstration).
+type KATE struct {
+	feat  *textproc.Featurizer
+	valid []*dataset.Example
+	vecs  []*textproc.SparseVector
+	demos []Demonstration
+}
+
+// NewKATE builds the retriever over the validation split using the given
+// fitted featurizer (shared with the end model, as BERT is in the paper).
+func NewKATE(d *dataset.Dataset, feat *textproc.Featurizer) (*KATE, error) {
+	if !feat.Fitted() {
+		return nil, fmt.Errorf("kate: featurizer not fitted")
+	}
+	k := &KATE{feat: feat, valid: d.Valid}
+	k.vecs = make([]*textproc.SparseVector, len(d.Valid))
+	k.demos = make([]Demonstration, len(d.Valid))
+	for i, e := range d.Valid {
+		k.vecs[i] = feat.Transform(e.FeatureTokens())
+		k.demos[i] = AnnotateDemonstration(d, e)
+	}
+	return k, nil
+}
+
+// Name implements ExampleSelector.
+func (k *KATE) Name() string { return "kate" }
+
+// Select implements ExampleSelector: the k nearest validation examples by
+// cosine similarity, most similar last (closest to the query in the
+// prompt, the ordering KATE recommends).
+func (k *KATE) Select(query *dataset.Example, n int) []Demonstration {
+	if n <= 0 {
+		n = DefaultShots
+	}
+	qv := k.feat.Transform(query.FeatureTokens())
+	type scored struct {
+		idx int
+		sim float64
+	}
+	scores := make([]scored, len(k.vecs))
+	for i, v := range k.vecs {
+		scores[i] = scored{i, qv.Cosine(v)}
+	}
+	sort.Slice(scores, func(a, b int) bool {
+		if scores[a].sim != scores[b].sim {
+			return scores[a].sim > scores[b].sim
+		}
+		return scores[a].idx < scores[b].idx
+	})
+	if n > len(scores) {
+		n = len(scores)
+	}
+	out := make([]Demonstration, n)
+	for i := 0; i < n; i++ {
+		// reverse order: most similar example adjacent to the query
+		out[n-1-i] = k.demos[scores[i].idx]
+	}
+	return out
+}

@@ -1,0 +1,246 @@
+// Package sampler implements the query-instance selection strategies of
+// paper §3.4: random sampling (the default), uncertainty sampling over the
+// current downstream model's predictive entropy (Lewis 1995), and Select
+// by Expected Utility (SEU, Hsieh et al. 2022 / Nemo), which scores
+// instances by the expected utility of the LFs a user (here: the LLM)
+// would plausibly derive from them.
+package sampler
+
+import (
+	"math"
+	"math/rand"
+
+	"datasculpt/internal/dataset"
+	"datasculpt/internal/lf"
+	"datasculpt/internal/metrics"
+	"datasculpt/internal/textproc"
+)
+
+// State is the pipeline information available at selection time.
+type State struct {
+	// Dataset under labeling.
+	Dataset *dataset.Dataset
+	// Used marks train instances already queried.
+	Used []bool
+	// TrainProba holds the current end model's class probabilities over
+	// the train split, or nil before the first interim model exists.
+	TrainProba [][]float64
+	// LabelProba holds the current label model's posteriors over the
+	// train split (nil entries for uncovered instances); used by QBC.
+	LabelProba [][]float64
+	// TrainVecs holds feature vectors of the train split for geometric
+	// samplers (CoreSet); nil unless the pipeline populates it.
+	TrainVecs []*textproc.SparseVector
+	// TrainIndex and ValidIndex are shared inverted indices over the
+	// respective splits (SEU uses them for coverage/accuracy estimates).
+	TrainIndex, ValidIndex *lf.Index
+}
+
+// unusedIDs lists the selectable instance ids.
+func (s *State) unusedIDs() []int {
+	out := make([]int, 0, len(s.Used))
+	for i, u := range s.Used {
+		if !u {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// Sampler picks the next query instance. Next returns -1 when the pool is
+// exhausted.
+type Sampler interface {
+	// Name identifies the strategy in reports.
+	Name() string
+	// Next returns the id of the next train instance to query.
+	Next(s *State, rng *rand.Rand) int
+}
+
+// Random selects uniformly among unqueried instances — the paper's
+// default strategy, and the best-performing one in its Table 4.
+type Random struct{}
+
+// Name implements Sampler.
+func (Random) Name() string { return "random" }
+
+// Next implements Sampler.
+func (Random) Next(s *State, rng *rand.Rand) int {
+	ids := s.unusedIDs()
+	if len(ids) == 0 {
+		return -1
+	}
+	return ids[rng.Intn(len(ids))]
+}
+
+// Uncertain selects the unqueried instance with the highest predictive
+// entropy under the current downstream model, falling back to random
+// before the first model exists.
+type Uncertain struct{}
+
+// Name implements Sampler.
+func (Uncertain) Name() string { return "uncertain" }
+
+// Next implements Sampler.
+func (Uncertain) Next(s *State, rng *rand.Rand) int {
+	ids := s.unusedIDs()
+	if len(ids) == 0 {
+		return -1
+	}
+	if s.TrainProba == nil {
+		return ids[rng.Intn(len(ids))]
+	}
+	best, bestH := -1, -1.0
+	for _, i := range ids {
+		p := s.TrainProba[i]
+		if p == nil {
+			continue
+		}
+		if h := metrics.Entropy(p); h > bestH {
+			best, bestH = i, h
+		}
+	}
+	if best < 0 {
+		return ids[rng.Intn(len(ids))]
+	}
+	return best
+}
+
+// SEU implements Select-by-Expected-Utility. For each candidate instance
+// it enumerates the keyword LFs the instance could give rise to, scores
+// each LF's utility as (estimated accuracy on the validation set) ×
+// (train coverage), weights LFs by a softmax user model that prefers
+// accurate LFs, and selects the instance with the highest expected
+// utility.
+//
+// As the paper observes (Table 4), this concentrates selection on
+// instances containing the same few high-utility keywords, which yields
+// redundant LFs that the filters prune — reproducing SEU's smaller LF
+// sets.
+type SEU struct {
+	// Candidates bounds how many unqueried instances are scored per call
+	// (default 150); scoring every instance of Agnews would be wasteful.
+	Candidates int
+	// MaxKeywords bounds the candidate LFs enumerated per instance
+	// (default 25).
+	MaxKeywords int
+	// Tau is the softmax sharpness of the user model (default 8).
+	Tau float64
+}
+
+// NewSEU constructs an SEU sampler with default parameters.
+func NewSEU() *SEU { return &SEU{Candidates: 150, MaxKeywords: 25, Tau: 8} }
+
+// Name implements Sampler.
+func (*SEU) Name() string { return "seu" }
+
+// Next implements Sampler.
+func (u *SEU) Next(s *State, rng *rand.Rand) int {
+	ids := s.unusedIDs()
+	if len(ids) == 0 {
+		return -1
+	}
+	cand := u.Candidates
+	if cand <= 0 {
+		cand = 150
+	}
+	if cand < len(ids) {
+		rng.Shuffle(len(ids), func(i, j int) { ids[i], ids[j] = ids[j], ids[i] })
+		ids = ids[:cand]
+	}
+	best, bestScore := ids[0], math.Inf(-1)
+	for _, i := range ids {
+		if score := u.instanceScore(s, s.Dataset.Train[i]); score > bestScore {
+			best, bestScore = i, score
+		}
+	}
+	return best
+}
+
+// instanceScore computes the expected LF utility of one instance.
+func (u *SEU) instanceScore(s *State, e *dataset.Example) float64 {
+	e.EnsureTokens()
+	keywords := textproc.CandidateKeywords(e.Tokens)
+	maxK := u.MaxKeywords
+	if maxK <= 0 {
+		maxK = 25
+	}
+	if len(keywords) > maxK {
+		keywords = keywords[:maxK]
+	}
+	tau := u.Tau
+	if tau <= 0 {
+		tau = 8
+	}
+	k := s.Dataset.NumClasses()
+	gold := dataset.Labels(s.ValidIndex.Split())
+	trainN := float64(s.TrainIndex.Size())
+
+	type cand struct {
+		acc, cov float64
+	}
+	var cands []cand
+	for _, kw := range keywords {
+		validDocs := s.ValidIndex.Docs(kw)
+		trainDocs := s.TrainIndex.Docs(kw)
+		if len(trainDocs) == 0 {
+			continue
+		}
+		cov := float64(len(trainDocs)) / trainN
+		// estimated accuracy of λ(kw,c) for the best class c on validation;
+		// unseen keywords get the uninformative prior 1/k
+		bestAcc := 1.0 / float64(k)
+		if len(validDocs) > 0 {
+			counts := make([]int, k)
+			total := 0
+			for _, id := range validDocs {
+				if g := gold[id]; g >= 0 {
+					counts[g]++
+					total++
+				}
+			}
+			if total > 0 {
+				bc := 0
+				for c := 1; c < k; c++ {
+					if counts[c] > counts[bc] {
+						bc = c
+					}
+				}
+				// smoothed precision toward the prior
+				bestAcc = (float64(counts[bc]) + 1) / (float64(total) + float64(k))
+			}
+		}
+		cands = append(cands, cand{acc: bestAcc, cov: cov})
+	}
+	if len(cands) == 0 {
+		return math.Inf(-1)
+	}
+	// softmax user model over accuracy
+	var z float64
+	for _, c := range cands {
+		z += math.Exp(tau * c.acc)
+	}
+	var score float64
+	for _, c := range cands {
+		p := math.Exp(tau*c.acc) / z
+		score += p * c.acc * c.cov
+	}
+	return score
+}
+
+// ByName resolves a sampler from its report name.
+func ByName(name string) (Sampler, bool) {
+	switch name {
+	case "random":
+		return Random{}, true
+	case "uncertain":
+		return Uncertain{}, true
+	case "seu":
+		return NewSEU(), true
+	case "qbc":
+		return QBC{}, true
+	case "coreset":
+		return NewCoreSet(), true
+	default:
+		return nil, false
+	}
+}

@@ -1,0 +1,154 @@
+package sampler
+
+import (
+	"math/rand"
+	"testing"
+
+	"datasculpt/internal/dataset"
+	"datasculpt/internal/lf"
+)
+
+func newState(t *testing.T) *State {
+	t.Helper()
+	d, err := dataset.Load("youtube", 3, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &State{
+		Dataset:    d,
+		Used:       make([]bool, len(d.Train)),
+		TrainIndex: lf.NewIndex(d.Train),
+		ValidIndex: lf.NewIndex(d.Valid),
+	}
+}
+
+func TestByName(t *testing.T) {
+	for _, name := range []string{"random", "uncertain", "seu"} {
+		s, ok := ByName(name)
+		if !ok {
+			t.Fatalf("ByName(%s) missing", name)
+		}
+		if s.Name() != name {
+			t.Errorf("Name() = %q, want %q", s.Name(), name)
+		}
+	}
+	if _, ok := ByName("bogus"); ok {
+		t.Error("ByName(bogus) resolved")
+	}
+}
+
+func TestRandomSamplerRespectsUsed(t *testing.T) {
+	s := newState(t)
+	rng := rand.New(rand.NewSource(1))
+	// mark all but one used
+	keep := 17
+	for i := range s.Used {
+		s.Used[i] = i != keep
+	}
+	var r Random
+	for trial := 0; trial < 10; trial++ {
+		if got := r.Next(s, rng); got != keep {
+			t.Fatalf("selected used instance %d", got)
+		}
+	}
+	s.Used[keep] = true
+	if got := r.Next(s, rng); got != -1 {
+		t.Errorf("exhausted pool returned %d, want -1", got)
+	}
+}
+
+func TestRandomSamplerCoversPool(t *testing.T) {
+	s := newState(t)
+	rng := rand.New(rand.NewSource(2))
+	seen := map[int]bool{}
+	var r Random
+	for i := 0; i < 50; i++ {
+		id := r.Next(s, rng)
+		if id < 0 || id >= len(s.Used) {
+			t.Fatalf("id %d out of range", id)
+		}
+		if s.Used[id] {
+			t.Fatalf("picked used id %d", id)
+		}
+		s.Used[id] = true
+		seen[id] = true
+	}
+	if len(seen) != 50 {
+		t.Errorf("selected %d distinct instances, want 50", len(seen))
+	}
+}
+
+func TestUncertainFallsBackToRandom(t *testing.T) {
+	s := newState(t)
+	rng := rand.New(rand.NewSource(3))
+	var u Uncertain
+	if got := u.Next(s, rng); got < 0 {
+		t.Error("fallback selection failed")
+	}
+}
+
+func TestUncertainPicksHighestEntropy(t *testing.T) {
+	s := newState(t)
+	rng := rand.New(rand.NewSource(4))
+	s.TrainProba = make([][]float64, len(s.Dataset.Train))
+	for i := range s.TrainProba {
+		s.TrainProba[i] = []float64{0.95, 0.05} // confident
+	}
+	uncertainID := 23
+	s.TrainProba[uncertainID] = []float64{0.5, 0.5}
+	var u Uncertain
+	if got := u.Next(s, rng); got != uncertainID {
+		t.Errorf("selected %d, want max-entropy %d", got, uncertainID)
+	}
+	// once used, the next pick is a different instance
+	s.Used[uncertainID] = true
+	if got := u.Next(s, rng); got == uncertainID {
+		t.Error("selected a used instance")
+	}
+}
+
+func TestSEUSelectsKeywordRichInstances(t *testing.T) {
+	s := newState(t)
+	rng := rand.New(rand.NewSource(5))
+	seu := NewSEU()
+	id := seu.Next(s, rng)
+	if id < 0 {
+		t.Fatal("SEU returned -1 on a fresh pool")
+	}
+	if s.Used[id] {
+		t.Fatal("SEU picked a used instance")
+	}
+	// SEU must prefer instances with at least one known-accurate keyword:
+	// compare against an instance that is pure filler (entropy source:
+	// take the chosen one and verify its score beats a few random ones).
+	chosen := seu.instanceScore(s, s.Dataset.Train[id])
+	worse := 0
+	for trial := 0; trial < 20; trial++ {
+		other := rng.Intn(len(s.Dataset.Train))
+		if seu.instanceScore(s, s.Dataset.Train[other]) <= chosen {
+			worse++
+		}
+	}
+	if worse < 15 {
+		t.Errorf("SEU choice beats only %d/20 random instances", worse)
+	}
+}
+
+func TestSEUDeterministicGivenSeed(t *testing.T) {
+	s1, s2 := newState(t), newState(t)
+	a := NewSEU().Next(s1, rand.New(rand.NewSource(9)))
+	b := NewSEU().Next(s2, rand.New(rand.NewSource(9)))
+	if a != b {
+		t.Errorf("SEU nondeterministic: %d vs %d", a, b)
+	}
+}
+
+func TestSEUExhaustedPool(t *testing.T) {
+	s := newState(t)
+	for i := range s.Used {
+		s.Used[i] = true
+	}
+	if got := NewSEU().Next(s, rand.New(rand.NewSource(1))); got != -1 {
+		t.Errorf("exhausted pool returned %d", got)
+	}
+}

@@ -1,0 +1,132 @@
+package textproc
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math"
+)
+
+// DefaultFeatureDim is the default width of hashed feature vectors. 2^13
+// buckets keep collisions rare for the vocabularies in this repo while the
+// end model stays fast on the largest corpus (Agnews, 96k documents).
+const DefaultFeatureDim = 8192
+
+// Featurizer converts token sequences into hashed TF-IDF sparse vectors.
+// It must be fitted on a corpus (typically the train split) before use so
+// that inverse document frequencies are available. Fitting and transforming
+// are deterministic: the same corpus always yields the same vectors.
+type Featurizer struct {
+	Dim int
+	// df maps hashed bucket -> number of fitted documents containing at
+	// least one term hashing to the bucket.
+	df   []int32
+	idf  []float32
+	docs int
+}
+
+// NewFeaturizer creates an unfitted featurizer with the given vector width.
+// A non-positive dim selects DefaultFeatureDim.
+func NewFeaturizer(dim int) *Featurizer {
+	if dim <= 0 {
+		dim = DefaultFeatureDim
+	}
+	return &Featurizer{Dim: dim, df: make([]int32, dim)}
+}
+
+// hashTerm maps a term to a (bucket, sign) pair with FNV-1a. The sign bit
+// implements the standard hashing-trick collision mitigation.
+func (f *Featurizer) hashTerm(term string) (int32, float32) {
+	h := fnv.New32a()
+	h.Write([]byte(term))
+	sum := h.Sum32()
+	bucket := int32(sum % uint32(f.Dim))
+	sign := float32(1)
+	if sum&0x80000000 != 0 {
+		sign = -1
+	}
+	return bucket, sign
+}
+
+// Fit accumulates document frequencies over the corpus and freezes IDF
+// weights. Fit may be called exactly once; calling it again returns an
+// error to prevent silently mixing statistics from different corpora.
+func (f *Featurizer) Fit(corpus [][]string) error {
+	if f.docs > 0 {
+		return fmt.Errorf("featurizer: Fit called twice")
+	}
+	if len(corpus) == 0 {
+		return fmt.Errorf("featurizer: empty corpus")
+	}
+	seen := make(map[int32]struct{}, 64)
+	for _, tokens := range corpus {
+		clear(seen)
+		for _, t := range tokens {
+			b, _ := f.hashTerm(t)
+			if _, ok := seen[b]; !ok {
+				seen[b] = struct{}{}
+				f.df[b]++
+			}
+		}
+	}
+	f.docs = len(corpus)
+	f.idf = make([]float32, f.Dim)
+	for b := range f.idf {
+		// Smoothed IDF; buckets never seen get the maximum weight.
+		f.idf[b] = float32(math.Log(float64(1+f.docs)/float64(1+f.df[b])) + 1)
+	}
+	return nil
+}
+
+// Fitted reports whether Fit has completed.
+func (f *Featurizer) Fitted() bool { return f.docs > 0 }
+
+// Transform converts one token sequence into an L2-normalized hashed
+// TF-IDF vector. Transform panics if the featurizer is unfitted, because
+// that is always a programming error rather than a data condition.
+func (f *Featurizer) Transform(tokens []string) *SparseVector {
+	if !f.Fitted() {
+		panic("featurizer: Transform before Fit")
+	}
+	acc := make(map[int32]float32, len(tokens))
+	for _, t := range tokens {
+		b, sign := f.hashTerm(t)
+		acc[b] += sign
+	}
+	for b, tf := range acc {
+		if tf == 0 {
+			delete(acc, b) // signed collisions cancelled out
+			continue
+		}
+		// Sub-linear TF damping keeps long reviews (IMDB) comparable to
+		// short comments (Youtube).
+		mag := float32(1 + math.Log(math.Abs(float64(tf))))
+		if tf < 0 {
+			mag = -mag
+		}
+		acc[b] = mag * f.idf[b]
+	}
+	v := fromMap(acc)
+	v.Normalize()
+	return v
+}
+
+// TransformAll maps Transform over a corpus.
+func (f *Featurizer) TransformAll(corpus [][]string) []*SparseVector {
+	out := make([]*SparseVector, len(corpus))
+	for i, tokens := range corpus {
+		out[i] = f.Transform(tokens)
+	}
+	return out
+}
+
+// DocFreq returns the fraction of fitted documents whose hash signature
+// includes the given term's bucket. It upper-bounds the term's true
+// document frequency (bucket collisions only inflate it) and is used by
+// the SEU sampler to prune ultra-rare candidate keywords cheaply.
+func (f *Featurizer) DocFreq(term string) float64 {
+	if !f.Fitted() {
+		return 0
+	}
+	b, _ := f.hashTerm(term)
+	return float64(f.df[b]) / float64(f.docs)
+}

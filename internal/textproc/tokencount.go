@@ -1,0 +1,24 @@
+package textproc
+
+// ApproxLLMTokens estimates the number of LLM (BPE) tokens in a text using
+// the standard heuristic of ~4 characters per token, floored at the word
+// count. The paper's cost analysis (Figures 3 and 4) counts prompt and
+// completion tokens as billed by the OpenAI and Anyscale APIs; this
+// estimator reproduces the same order of magnitude deterministically and
+// offline.
+func ApproxLLMTokens(text string) int {
+	if text == "" {
+		return 0
+	}
+	words := 1
+	for i := 0; i < len(text); i++ {
+		if text[i] == ' ' || text[i] == '\n' || text[i] == '\t' {
+			words++
+		}
+	}
+	byChars := (len(text) + 3) / 4
+	if byChars < words {
+		return words
+	}
+	return byChars
+}
