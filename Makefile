@@ -1,0 +1,32 @@
+# DataSculpt-Go build/test entry points. `make ci` is the gate every
+# change must pass; `make bench-grid` compares the serial and parallel
+# experiment engines on the same grid.
+
+GO ?= go
+
+.PHONY: ci vet build test race bench bench-grid clean
+
+ci: vet build race
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# full benchmark suite at reduced scale (one pass per table/figure)
+bench:
+	$(GO) test -bench . -benchtime=1x -run XXX -v .
+
+# serial vs parallel wall-clock on the identical experiment grid
+bench-grid:
+	$(GO) test -bench=Grid -benchtime=1x -run XXX .
+
+clean:
+	$(GO) clean ./...

@@ -26,6 +26,33 @@ func benchOptions() experiment.Options {
 	return experiment.Options{Seeds: 1, Scale: 0.15, Iterations: 50}
 }
 
+// gridBench measures one Table 2 sweep at the given worker count; run
+// `go test -bench=Grid -benchtime=1x` to compare serial vs parallel
+// wall-clock on the same grid.
+func gridBench(b *testing.B, workers int) {
+	b.Helper()
+	o := benchOptions()
+	o.Workers = workers
+	for i := 0; i < b.N; i++ {
+		g, err := experiment.MainResults(o)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if g.FailedCells() != 0 {
+			b.Fatalf("%d failed cells", g.FailedCells())
+		}
+	}
+}
+
+// BenchmarkGridSerial is the old engine's behavior: one cell at a time.
+func BenchmarkGridSerial(b *testing.B) { gridBench(b, 1) }
+
+// BenchmarkGridParallel runs the same grid over 8 workers; the resulting
+// grid is byte-identical to BenchmarkGridSerial's. Speedup scales with
+// available cores (on a single-core host the two benchmarks tie, which
+// bounds the scheduler's overhead at ~zero).
+func BenchmarkGridParallel(b *testing.B) { gridBench(b, 8) }
+
 func BenchmarkTable1Datasets(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		out, err := experiment.RenderTable1(benchOptions())

@@ -16,9 +16,11 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
 
 	"datasculpt/internal/experiment"
@@ -33,6 +35,8 @@ func main() {
 	iterations := flag.Int("iterations", 50, "DataSculpt query iterations")
 	model := flag.String("model", "gpt-3.5", "default LLM profile")
 	datasets := flag.String("datasets", "", "comma-separated dataset subset (default: all)")
+	workers := flag.Int("workers", 0, "concurrent grid cells (0 = GOMAXPROCS, 1 = serial; results identical)")
+	keepGoing := flag.Bool("keep-going", false, "record per-cell failures in the grid instead of aborting the sweep")
 	quiet := flag.Bool("quiet", false, "suppress progress logging")
 	compare := flag.Bool("compare", true, "print paper-vs-reproduction averages")
 	markdown := flag.String("markdown", "", "also write a markdown report (EXPERIMENTS.md format) to this path; implies -all")
@@ -43,6 +47,8 @@ func main() {
 		Scale:      *scale,
 		Iterations: *iterations,
 		Model:      *model,
+		Workers:    *workers,
+		KeepGoing:  *keepGoing,
 	}
 	if !*quiet {
 		opts.Log = os.Stderr
@@ -54,13 +60,16 @@ func main() {
 	if *markdown != "" {
 		*all = true
 	}
-	if err := run(opts, *table, *figure, *all, *compare, *markdown); err != nil {
+	// Ctrl-C cancels every in-flight cell instead of killing mid-write.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	if err := run(ctx, opts, *table, *figure, *all, *compare, *markdown); err != nil {
 		fmt.Fprintln(os.Stderr, "benchtab:", err)
 		os.Exit(1)
 	}
 }
 
-func run(opts experiment.Options, table, figure int, all, compare bool, markdown string) error {
+func run(ctx context.Context, opts experiment.Options, table, figure int, all, compare bool, markdown string) error {
 	var main, llms, samplers, filters *experiment.Grid
 	needMain := all || table == 2 || figure == 3 || figure == 4
 
@@ -72,7 +81,7 @@ func run(opts experiment.Options, table, figure int, all, compare bool, markdown
 		fmt.Println(out)
 	}
 	if needMain {
-		g, err := experiment.MainResults(opts)
+		g, err := experiment.MainResultsContext(ctx, opts)
 		if err != nil {
 			return err
 		}
@@ -91,7 +100,7 @@ func run(opts experiment.Options, table, figure int, all, compare bool, markdown
 		fmt.Println(experiment.RenderFigure4(main))
 	}
 	if all || table == 3 {
-		g, err := experiment.LLMAblation(opts)
+		g, err := experiment.LLMAblationContext(ctx, opts)
 		if err != nil {
 			return err
 		}
@@ -102,7 +111,7 @@ func run(opts experiment.Options, table, figure int, all, compare bool, markdown
 		}
 	}
 	if all || table == 4 {
-		g, err := experiment.SamplerAblation(opts)
+		g, err := experiment.SamplerAblationContext(ctx, opts)
 		if err != nil {
 			return err
 		}
@@ -113,7 +122,7 @@ func run(opts experiment.Options, table, figure int, all, compare bool, markdown
 		}
 	}
 	if all || table == 5 {
-		g, err := experiment.FilterAblation(opts)
+		g, err := experiment.FilterAblationContext(ctx, opts)
 		if err != nil {
 			return err
 		}

@@ -12,9 +12,11 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"sort"
 
 	"datasculpt/internal/core"
@@ -40,7 +42,10 @@ func main() {
 	revise := flag.Bool("revise", false, "enable the counterexample-revision pass after the main loop")
 	flag.Parse()
 
-	if err := run(runOptions{
+	// Ctrl-C aborts between prompts rather than killing mid-run.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	if err := run(ctx, runOptions{
 		dataset: *dsName, variant: *variant, model: *model, sampler: *smp,
 		labelModel: *labelModel, iterations: *iterations, seeds: *seeds,
 		scale: *scale, noAccuracy: *noAccuracy, noRedundancy: *noRedundancy,
@@ -61,7 +66,7 @@ type runOptions struct {
 	saveLFs                                      string
 }
 
-func run(o runOptions) error {
+func run(ctx context.Context, o runOptions) error {
 	dsName, variant, model, smp, labelModel := o.dataset, o.variant, o.model, o.sampler, o.labelModel
 	iterations, seeds, scale := o.iterations, o.seeds, o.scale
 	noAccuracy, noRedundancy, showLFs := o.noAccuracy, o.noRedundancy, o.showLFs
@@ -86,7 +91,7 @@ func run(o runOptions) error {
 			ReviseRejected: o.revise,
 			Seed:           int64(100*s + 1),
 		}
-		res, err := core.Run(d, cfg)
+		res, err := core.RunContext(ctx, d, cfg)
 		if err != nil {
 			return err
 		}

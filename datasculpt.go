@@ -23,6 +23,7 @@
 package datasculpt
 
 import (
+	"context"
 	"io"
 
 	"datasculpt/internal/baselines"
@@ -73,10 +74,15 @@ type (
 type FilterConfig = lf.FilterConfig
 
 // ChatModel abstracts an LLM endpoint; Simulated is the deterministic
-// offline implementation used throughout this repo.
+// offline implementation used throughout this repo. Message and
+// Response are the chat request/reply types — exported so external
+// packages can call Chat and implement ChatModel without reaching into
+// internal/.
 type (
 	ChatModel = llm.ChatModel
 	Simulated = llm.Simulated
+	Message   = llm.Message
+	Response  = llm.Response
 )
 
 // ExperimentOptions parameterizes the multi-seed experiment sweeps that
@@ -98,8 +104,17 @@ func LoadDataset(name string, seed int64, scale float64) (*Dataset, error) {
 // all filters, MeTaL label model).
 func DefaultConfig(v Variant) Config { return core.DefaultConfig(v) }
 
-// Run executes the full DataSculpt pipeline on a dataset.
+// Run executes the full DataSculpt pipeline on a dataset. It is
+// RunContext with context.Background().
 func Run(d *Dataset, cfg Config) (*Result, error) { return core.Run(d, cfg) }
+
+// RunContext executes the full DataSculpt pipeline under a context:
+// cancellation (deadline, Ctrl-C, first error of a concurrent sweep)
+// aborts the run between prompts and propagates through the LLM client,
+// so no budget is spent after the caller gives up.
+func RunContext(ctx context.Context, d *Dataset, cfg Config) (*Result, error) {
+	return core.RunContext(ctx, d, cfg)
+}
 
 // EvaluateLFSet computes LF statistics and trains/evaluates the end model
 // for an externally produced LF set (e.g. hand-written LFs).
@@ -131,20 +146,28 @@ func WrenchLFs(d *Dataset) ([]LabelFunction, error) { return baselines.Wrench(d)
 // ScriptoriumLFs simulates the ScriptoriumWS code-generation baseline.
 // It returns the LF set and a usage meter billing the generation calls.
 func ScriptoriumLFs(d *Dataset, model string, seed int64) ([]LabelFunction, *llm.Meter, error) {
-	return baselines.Scriptorium(d, model, seed)
+	return baselines.Scriptorium(context.Background(), d, model, seed)
 }
 
 // PromptedLFs simulates the PromptedLF exhaustive-prompting baseline:
 // every train instance is annotated by every template. The returned meter
 // records the Θ(n·T) token cost.
 func PromptedLFs(d *Dataset, model string, seed int64) ([]LabelFunction, *llm.Meter, error) {
-	return baselines.PromptedLF(d, model, seed)
+	return baselines.PromptedLF(context.Background(), d, model, seed)
 }
 
 // MainResults runs the paper's Table 2 comparison (seven methods × six
-// datasets), which also yields the Figure 3/4 cost data.
+// datasets), which also yields the Figure 3/4 cost data. The grid cells
+// run over ExperimentOptions.Workers goroutines (default GOMAXPROCS) and
+// are byte-identical to a serial (Workers=1) sweep.
 func MainResults(o ExperimentOptions) (*experiment.Grid, error) {
 	return experiment.MainResults(o)
+}
+
+// MainResultsContext is MainResults with cancellation: canceling ctx
+// aborts every in-flight cell and returns the context's error.
+func MainResultsContext(ctx context.Context, o ExperimentOptions) (*experiment.Grid, error) {
+	return experiment.MainResultsContext(ctx, o)
 }
 
 // LFSummary is the per-LF diagnostic record of AnalyzeLFs (coverage,
@@ -175,16 +198,88 @@ func LoadDatasetDir(dir string) (*Dataset, error) { return dataset.LoadDir(dir) 
 // SaveDatasetDir writes a dataset in the same layout LoadDatasetDir reads.
 func SaveDatasetDir(d *Dataset, dir string) error { return d.SaveDir(dir) }
 
-// NewOpenAIClient builds a ChatModel against any OpenAI-compatible
+// NewOpenAI builds a ChatModel against any OpenAI-compatible
 // chat-completions endpoint, so the identical pipeline can run on a real
-// provider instead of the offline simulator. Set PromptPrice and
-// CompletionPrice on the returned client for cost accounting.
+// provider instead of the offline simulator. Behavior is tuned through
+// functional options: WithPricing, WithMaxRetries, WithHTTPClient,
+// WithRateLimit.
+func NewOpenAI(baseURL, apiKey, model string, opts ...llm.Option) *llm.OpenAIClient {
+	return llm.NewOpenAI(baseURL, apiKey, model, opts...)
+}
+
+// Client construction options, re-exported for NewOpenAI callers.
+var (
+	// WithPricing sets per-1M-token prompt/completion prices for cost
+	// accounting.
+	WithPricing = llm.WithPricing
+	// WithMaxRetries bounds retry attempts on retryable failures.
+	WithMaxRetries = llm.WithMaxRetries
+	// WithHTTPClient substitutes the HTTP client (timeouts, proxies, test
+	// doubles).
+	WithHTTPClient = llm.WithHTTPClient
+	// WithRateLimit installs a client-side QPS bound so concurrent runs
+	// cannot stampede a provider.
+	WithRateLimit = llm.WithRateLimit
+)
+
+// NewOpenAIClient builds an OpenAI-compatible client.
+//
+// Deprecated: use NewOpenAI with functional options.
 func NewOpenAIClient(baseURL, apiKey, model string) *llm.OpenAIClient {
 	return llm.NewOpenAIClient(baseURL, apiKey, model)
 }
+
+// Sentinel errors returned (wrapped) by ChatModel implementations;
+// test with errors.Is.
+var (
+	// ErrRateLimited marks provider throttling (HTTP 429) or a canceled
+	// wait on the client-side rate limiter.
+	ErrRateLimited = llm.ErrRateLimited
+	// ErrBadResponse marks a malformed or unusable provider reply; not
+	// retryable.
+	ErrBadResponse = llm.ErrBadResponse
+	// ErrUnavailable marks transport failures and 5xx statuses; retryable.
+	ErrUnavailable = llm.ErrUnavailable
+)
 
 // NewTranscript wraps any ChatModel so every call is appended as a JSON
 // line to w — the audit/replay record of a labeling run.
 func NewTranscript(inner ChatModel, w io.Writer) *llm.Transcript {
 	return llm.NewTranscript(inner, w)
 }
+
+// NewCache wraps a ChatModel with a concurrency-safe response cache:
+// identical (model, messages, temperature, n) requests are answered once
+// and replayed, with single-flight deduplication of concurrent misses.
+// Cache hits cost no tokens, which is what makes many-seed sweeps over a
+// shared real model affordable.
+func NewCache(inner ChatModel) *llm.Cache { return llm.NewCache(inner) }
+
+// NewRateLimiter wraps a ChatModel with a token-bucket QPS bound shared
+// by every goroutine using it. burst <= 0 defaults to 1.
+func NewRateLimiter(inner ChatModel, qps float64, burst int) *llm.RateLimiter {
+	return llm.NewRateLimiter(inner, qps, burst)
+}
+
+// NewMetered wraps a ChatModel with a mutex-guarded usage meter that
+// aggregates calls, tokens and dollar cost across every caller — the
+// spend ledger for a whole concurrent experiment. Read it with
+// Metered.Meter().
+func NewMetered(inner ChatModel) *llm.Metered { return llm.NewMetered(inner) }
+
+// Middleware and accounting types, re-exported so callers can hold them
+// without importing internal packages.
+type (
+	// OpenAIClient is the OpenAI-compatible ChatModel.
+	OpenAIClient = llm.OpenAIClient
+	// Cache is the response cache middleware.
+	Cache = llm.Cache
+	// RateLimiter is the QPS-bounding middleware.
+	RateLimiter = llm.RateLimiter
+	// Metered is the usage-metering middleware.
+	Metered = llm.Metered
+	// Meter accumulates calls, tokens and cost; safe for concurrent use.
+	Meter = llm.Meter
+	// MeterSnapshot is a consistent point-in-time copy of a Meter.
+	MeterSnapshot = llm.MeterSnapshot
+)

@@ -65,8 +65,8 @@ func TestPublicAPIEndToEnd(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if meter.Calls != 10*len(d.Train) {
-		t.Errorf("promptedLF calls = %d", meter.Calls)
+	if meter.Calls() != 10*len(d.Train) {
+		t.Errorf("promptedLF calls = %d", meter.Calls())
 	}
 
 	// simulated LLM directly

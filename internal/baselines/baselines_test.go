@@ -1,6 +1,8 @@
 package baselines
 
 import (
+	"context"
+
 	"testing"
 
 	"datasculpt/internal/core"
@@ -88,14 +90,14 @@ func TestWrenchRelationTaskUsesEntityLFs(t *testing.T) {
 
 func TestScriptoriumShape(t *testing.T) {
 	d := load(t, "youtube", 0.4)
-	lfs, meter, err := Scriptorium(d, "gpt-3.5", 1)
+	lfs, meter, err := Scriptorium(context.Background(), d, "gpt-3.5", 1)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if len(lfs) != 9 {
 		t.Fatalf("LF count = %d, want 9", len(lfs))
 	}
-	if meter.Calls != 9 || meter.TotalTokens() == 0 {
+	if meter.Calls() != 9 || meter.TotalTokens() == 0 {
 		t.Errorf("meter = %+v", meter)
 	}
 	ix := lf.NewIndex(d.Train)
@@ -116,7 +118,7 @@ func TestScriptoriumShape(t *testing.T) {
 
 func TestScriptoriumSpouseDefaultLF(t *testing.T) {
 	d := load(t, "spouse", 0.02)
-	lfs, _, err := Scriptorium(d, "gpt-3.5", 1)
+	lfs, _, err := Scriptorium(context.Background(), d, "gpt-3.5", 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -135,11 +137,11 @@ func TestScriptoriumSpouseDefaultLF(t *testing.T) {
 func TestScriptoriumDeterministic(t *testing.T) {
 	d1 := load(t, "youtube", 0.05)
 	d2 := load(t, "youtube", 0.05)
-	a, _, err := Scriptorium(d1, "gpt-3.5", 5)
+	a, _, err := Scriptorium(context.Background(), d1, "gpt-3.5", 5)
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, _, err := Scriptorium(d2, "gpt-3.5", 5)
+	b, _, err := Scriptorium(context.Background(), d2, "gpt-3.5", 5)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -152,7 +154,7 @@ func TestScriptoriumDeterministic(t *testing.T) {
 
 func TestPromptedLFShape(t *testing.T) {
 	d := load(t, "youtube", 0.4)
-	lfs, meter, err := PromptedLF(d, "gpt-3.5", 1)
+	lfs, meter, err := PromptedLF(context.Background(), d, "gpt-3.5", 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -161,8 +163,8 @@ func TestPromptedLFShape(t *testing.T) {
 	}
 	// exhaustive: one call per (template, train instance)
 	wantCalls := 10 * len(d.Train)
-	if meter.Calls != wantCalls {
-		t.Errorf("calls = %d, want %d", meter.Calls, wantCalls)
+	if meter.Calls() != wantCalls {
+		t.Errorf("calls = %d, want %d", meter.Calls(), wantCalls)
 	}
 	ix := lf.NewIndex(d.Train)
 	vm := lf.BuildVoteMatrix(ix, lfs)
@@ -180,7 +182,7 @@ func TestPromptedLFShape(t *testing.T) {
 
 func TestPromptedLFSMSKeywordTemplates(t *testing.T) {
 	d := load(t, "sms", 0.2)
-	lfs, _, err := PromptedLF(d, "gpt-3.5", 2)
+	lfs, _, err := PromptedLF(context.Background(), d, "gpt-3.5", 2)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -206,7 +208,7 @@ func TestPromptedLFCostDominates(t *testing.T) {
 	// The paper's central cost claim: exhaustive prompting costs orders of
 	// magnitude more than DataSculpt's 50 queries.
 	d := load(t, "youtube", 0.4)
-	_, meter, err := PromptedLF(d, "gpt-3.5", 1)
+	_, meter, err := PromptedLF(context.Background(), d, "gpt-3.5", 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -244,7 +246,7 @@ func TestBaselinesEndToEnd(t *testing.T) {
 		t.Errorf("WRENCH end metric = %v", res.EndMetric)
 	}
 
-	sc, _, err := Scriptorium(d, "gpt-3.5", 21)
+	sc, _, err := Scriptorium(context.Background(), d, "gpt-3.5", 21)
 	if err != nil {
 		t.Fatal(err)
 	}

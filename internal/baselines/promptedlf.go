@@ -1,6 +1,7 @@
 package baselines
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 
@@ -48,8 +49,10 @@ const (
 // annotated by every prompt template and each template's annotations form
 // one labeling function. Returns the LF set and a meter billing one call
 // per (template, instance) pair — the Θ(n·T) cost that DataSculpt's
-// Θ(m) querying avoids.
-func PromptedLF(d *dataset.Dataset, model string, seed int64) ([]lf.LabelFunction, *llm.Meter, error) {
+// Θ(m) querying avoids. Because that loop is by far the most expensive
+// cell of the grid, the ctx is checked once per template so
+// cancellation cannot be stalled behind thousands of simulated calls.
+func PromptedLF(ctx context.Context, d *dataset.Dataset, model string, seed int64) ([]lf.LabelFunction, *llm.Meter, error) {
 	nTemplates, ok := promptedLFCounts[d.Name]
 	if !ok {
 		return nil, nil, fmt.Errorf("baselines: no PromptedLF template count for dataset %q", d.Name)
@@ -98,6 +101,9 @@ func PromptedLF(d *dataset.Dataset, model string, seed int64) ([]lf.LabelFunctio
 	// Annotate every train instance with every template.
 	lfs := make([]lf.LabelFunction, len(templates))
 	for ti, tpl := range templates {
+		if err := ctx.Err(); err != nil {
+			return nil, nil, err
+		}
 		votes := make(map[*dataset.Example]int, len(d.Train))
 		for _, e := range d.Train {
 			e.EnsureTokens()

@@ -1,11 +1,13 @@
 package baselines
 
 import (
+	"context"
+	"fmt"
+	"math/rand"
+
 	"datasculpt/internal/dataset"
 	"datasculpt/internal/lf"
 	"datasculpt/internal/llm"
-	"fmt"
-	"math/rand"
 )
 
 // scriptoriumLFCounts are the LF set sizes ScriptoriumWS reports per
@@ -40,8 +42,9 @@ const (
 // description — no instance grounding. The generated programs are
 // keyword-disjunction predicates whose breadth and error rate reproduce
 // the coverage/accuracy trade-off the paper measures. Returns the LF set
-// and a meter billing the code-generation calls.
-func Scriptorium(d *dataset.Dataset, model string, seed int64) ([]lf.LabelFunction, *llm.Meter, error) {
+// and a meter billing the code-generation calls. The ctx is checked per
+// generated program so a canceled sweep stops promptly.
+func Scriptorium(ctx context.Context, d *dataset.Dataset, model string, seed int64) ([]lf.LabelFunction, *llm.Meter, error) {
 	total, ok := scriptoriumLFCounts[d.Name]
 	if !ok {
 		return nil, nil, fmt.Errorf("baselines: no ScriptoriumWS LF count for dataset %q", d.Name)
@@ -56,6 +59,9 @@ func Scriptorium(d *dataset.Dataset, model string, seed int64) ([]lf.LabelFuncti
 
 	var out []lf.LabelFunction
 	for i := 0; i < total; i++ {
+		if err := ctx.Err(); err != nil {
+			return nil, nil, err
+		}
 		class := i % k // target class, round-robin
 		signals := d.Signal.Class(class)
 		nDisj := scriptoriumMinDisjuncts + rng.Intn(scriptoriumMaxDisjuncts-scriptoriumMinDisjuncts+1)

@@ -10,6 +10,7 @@ import (
 
 	"datasculpt/internal/endmodel"
 	"datasculpt/internal/lf"
+	"datasculpt/internal/llm"
 )
 
 // Variant names a DataSculpt configuration from the paper's Table 2.
@@ -38,6 +39,12 @@ func Variants() []Variant {
 type Config struct {
 	// Model is the LLM profile name or alias (default "gpt-3.5").
 	Model string
+	// ChatModel, when non-nil, overrides Model: the run prompts this
+	// endpoint instead of constructing a fresh Simulated. It is how a
+	// real (or cached / rate-limited / metered) model is injected, and
+	// how many concurrent runs share one model — implementations must be
+	// concurrency-safe (every llm middleware and the Simulated are).
+	ChatModel llm.ChatModel
 	// Variant selects prompting strategy (default VariantBase).
 	Variant Variant
 	// Iterations is the number of query instances (paper: 50).

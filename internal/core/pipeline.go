@@ -1,9 +1,11 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
+	"sort"
 
 	"datasculpt/internal/dataset"
 	"datasculpt/internal/endmodel"
@@ -18,8 +20,20 @@ import (
 
 // Run executes the full DataSculpt pipeline on one dataset with one
 // configuration: the 50-iteration LF-generation loop followed by label
-// model aggregation, end-model training and evaluation.
+// model aggregation, end-model training and evaluation. It is
+// RunContext with context.Background().
 func Run(d *dataset.Dataset, cfg Config) (*Result, error) {
+	return RunContext(context.Background(), d, cfg)
+}
+
+// RunContext is Run with cancellation: the ctx is threaded into every
+// LLM call and checked between iterations, so a canceled experiment
+// stops promptly even mid-loop (and a real endpoint's in-flight HTTP
+// request is aborted).
+func RunContext(ctx context.Context, d *dataset.Dataset, cfg Config) (*Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if err := cfg.Normalize(); err != nil {
 		return nil, err
 	}
@@ -28,9 +42,13 @@ func Run(d *dataset.Dataset, cfg Config) (*Result, error) {
 	}
 	rng := rand.New(rand.NewSource(cfg.Seed))
 
-	model, err := llm.NewSimulated(cfg.Model, d, cfg.Seed+101)
-	if err != nil {
-		return nil, err
+	model := cfg.ChatModel
+	if model == nil {
+		sim, err := llm.NewSimulated(cfg.Model, d, cfg.Seed+101)
+		if err != nil {
+			return nil, err
+		}
+		model = sim
 	}
 	meter := llm.NewMeter(model)
 
@@ -43,6 +61,7 @@ func Run(d *dataset.Dataset, cfg Config) (*Result, error) {
 	chain := lf.NewFilterChainIndexed(d, cfg.Filters, trainIx, validIx)
 
 	var selector prompt.ExampleSelector
+	var err error
 	if cfg.usesKATE() {
 		selector, err = prompt.NewKATE(d, feat)
 	} else {
@@ -77,6 +96,9 @@ func Run(d *dataset.Dataset, cfg Config) (*Result, error) {
 	parseFailures := 0
 
 	for it := 0; it < cfg.Iterations; it++ {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("core: iteration %d: %w", it, err)
+		}
 		id := smp.Next(state, rng)
 		if id < 0 {
 			break // pool exhausted
@@ -85,7 +107,7 @@ func Run(d *dataset.Dataset, cfg Config) (*Result, error) {
 		query := d.Train[id]
 		demos := selector.Select(query, cfg.Shots)
 		msgs := prompt.Render(style, d, demos, query)
-		responses, err := model.Chat(msgs, cfg.Temperature, nSamples)
+		responses, err := model.Chat(ctx, msgs, cfg.Temperature, nSamples)
 		if err != nil {
 			return nil, fmt.Errorf("core: iteration %d: %w", it, err)
 		}
@@ -111,7 +133,7 @@ func Run(d *dataset.Dataset, cfg Config) (*Result, error) {
 
 		// Refresh the interim model behind model-driven samplers.
 		if needsInterim && (it+1)%cfg.UncertainRefreshEvery == 0 {
-			if endProba, lmProba, err := ev.interimTrainProba(chain.Accepted()); err == nil {
+			if endProba, lmProba, err := ev.interimTrainProba(chain.Accepted(), rng); err == nil {
 				state.TrainProba = endProba
 				state.LabelProba = lmProba
 			}
@@ -123,7 +145,7 @@ func Run(d *dataset.Dataset, cfg Config) (*Result, error) {
 			d: d, validIx: validIx, selector: selector,
 			style: style, model: model, meter: meter, cfg: &cfg,
 		}
-		if _, _, err := rv.revise(chain, rng, cfg.MaxRevisions); err != nil {
+		if _, _, err := rv.revise(ctx, chain, rng, cfg.MaxRevisions); err != nil {
 			return nil, fmt.Errorf("core: revision pass: %w", err)
 		}
 	}
@@ -136,10 +158,11 @@ func Run(d *dataset.Dataset, cfg Config) (*Result, error) {
 	res.Method = fmt.Sprintf("datasculpt-%s", cfg.Variant)
 	res.ParseFailures = parseFailures
 	res.Rejections = chain.Rejections()
-	res.Calls = meter.Calls
-	res.PromptTokens = meter.PromptTokens
-	res.CompletionTokens = meter.CompletionTokens
-	res.CostUSD = meter.CostUSD()
+	usage := meter.Snapshot()
+	res.Calls = usage.Calls
+	res.PromptTokens = usage.PromptTokens
+	res.CompletionTokens = usage.CompletionTokens
+	res.CostUSD = usage.CostUSD
 	return res, nil
 }
 
@@ -325,8 +348,10 @@ func (ev *evaluator) evaluate(lfs []lf.LabelFunction) (*Result, error) {
 // returns its class probabilities over the full train split together
 // with the label model's posteriors, feeding the model-driven samplers
 // (uncertainty, QBC). It caps the training subsample and epochs: the
-// samplers need rankings, not a polished classifier.
-func (ev *evaluator) interimTrainProba(lfs []lf.LabelFunction) (endProba, lmProba [][]float64, err error) {
+// samplers need rankings, not a polished classifier. The cap draws a
+// uniform subsample from the run's rng — a fixed prefix would skew
+// uncertainty/QBC scores toward whatever the early train indices cover.
+func (ev *evaluator) interimTrainProba(lfs []lf.LabelFunction, rng *rand.Rand) (endProba, lmProba [][]float64, err error) {
 	if len(lfs) == 0 {
 		return nil, nil, fmt.Errorf("core: no LFs yet")
 	}
@@ -339,7 +364,15 @@ func (ev *evaluator) interimTrainProba(lfs []lf.LabelFunction) (endProba, lmProb
 		return nil, nil, fmt.Errorf("core: no covered instances yet")
 	}
 	if cap := ev.cfg.InterimTrainCap; len(X) > cap {
-		X, Y, weights = X[:cap], Y[:cap], weights[:cap]
+		keep := rng.Perm(len(X))[:cap]
+		sort.Ints(keep) // keep the original example order, just thinned
+		sX := make([]*textproc.SparseVector, cap)
+		sY := make([][]float64, cap)
+		sW := make([]float64, cap)
+		for i, ix := range keep {
+			sX[i], sY[i], sW[i] = X[ix], Y[ix], weights[ix]
+		}
+		X, Y, weights = sX, sY, sW
 	}
 	cfg := ev.cfg.EndModel
 	cfg.Epochs = 2

@@ -1,6 +1,10 @@
 package core
 
 import (
+	"context"
+	"errors"
+
+	"datasculpt/internal/llm"
 	"testing"
 
 	"datasculpt/internal/dataset"
@@ -306,5 +310,45 @@ func TestTripletRejectsMulticlassDataset(t *testing.T) {
 	cfg.FeatureDim = 1024
 	if _, err := Run(d, cfg); err == nil {
 		t.Error("triplet label model accepted the 4-class agnews task")
+	}
+}
+
+func TestRunContextCanceled(t *testing.T) {
+	d, err := dataset.Load("youtube", 11, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := RunContext(ctx, d, DefaultConfig(VariantBase)); !errors.Is(err, context.Canceled) {
+		t.Errorf("canceled run returned %v, want context.Canceled", err)
+	}
+}
+
+func TestRunWithInjectedChatModel(t *testing.T) {
+	// injecting a Simulated with the seed Run would derive itself must
+	// reproduce the default run exactly
+	baseline := smallRun(t, "youtube", nil)
+	d, err := dataset.Load("youtube", 11, 0.4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig(VariantBase)
+	cfg.Iterations = 20
+	cfg.Seed = 11
+	cfg.FeatureDim = 2048
+	cfg.EndModel.Epochs = 3
+	sim, err := llm.NewSimulated("gpt-3.5", d, cfg.Seed+101)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.ChatModel = sim
+	injected, err := Run(d, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if injected.NumLFs != baseline.NumLFs || injected.EndMetric != baseline.EndMetric ||
+		injected.TotalTokens() != baseline.TotalTokens() {
+		t.Errorf("injected model diverged: %v vs %v", injected, baseline)
 	}
 }

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math/rand"
 
 	"datasculpt/internal/dataset"
@@ -54,7 +55,7 @@ func (r *reviser) counterexample(rej lf.Rejected) *dataset.Example {
 // accuracy-filter rejections and offers the resulting keywords back. It
 // returns the number of revision prompts issued and of LFs the revisions
 // added.
-func (r *reviser) revise(chain *lf.FilterChain, rng *rand.Rand, maxRevisions int) (prompts, added int, err error) {
+func (r *reviser) revise(ctx context.Context, chain *lf.FilterChain, rng *rand.Rand, maxRevisions int) (prompts, added int, err error) {
 	rejected := chain.Rejected()
 	// shuffle so revision effort spreads over the rejection list rather
 	// than clustering on the earliest iterations
@@ -74,7 +75,7 @@ func (r *reviser) revise(chain *lf.FilterChain, rng *rand.Rand, maxRevisions int
 		}
 		demos := r.selector.Select(counter, r.cfg.Shots)
 		msgs := prompt.Render(r.style, r.d, demos, counter)
-		responses, err := r.model.Chat(msgs, r.cfg.Temperature, nSamples)
+		responses, err := r.model.Chat(ctx, msgs, r.cfg.Temperature, nSamples)
 		if err != nil {
 			return prompts, added, err
 		}

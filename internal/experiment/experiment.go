@@ -8,6 +8,8 @@ package experiment
 import (
 	"fmt"
 	"io"
+	"runtime"
+	"sync"
 
 	"datasculpt/internal/core"
 	"datasculpt/internal/dataset"
@@ -27,6 +29,17 @@ type Options struct {
 	Iterations int
 	// Model is the default LLM (paper: gpt-3.5).
 	Model string
+	// Workers bounds how many (method, dataset, seed) cells run
+	// concurrently (default: runtime.GOMAXPROCS(0); 1 recovers the old
+	// serial behavior). The grid is byte-identical at any worker count —
+	// every cell owns its RNGs and simulated endpoint, and results are
+	// committed by cell index, not completion order.
+	Workers int
+	// KeepGoing records per-cell errors in the grid instead of
+	// fail-fast cancellation, so one broken cell cannot void an
+	// overnight sweep. Failed cells render as zeros; inspect them with
+	// Grid.Err.
+	KeepGoing bool
 	// Log receives progress lines (nil: silent).
 	Log io.Writer
 }
@@ -49,11 +62,20 @@ func (o Options) normalized() Options {
 	if o.Model == "" {
 		o.Model = "gpt-3.5"
 	}
+	if o.Workers <= 0 {
+		o.Workers = runtime.GOMAXPROCS(0)
+	}
 	return o
 }
 
+// logMu serializes progress lines from concurrent workers so interleaved
+// writes cannot shear a line.
+var logMu sync.Mutex
+
 func (o Options) logf(format string, args ...any) {
 	if o.Log != nil {
+		logMu.Lock()
+		defer logMu.Unlock()
 		fmt.Fprintf(o.Log, format+"\n", args...)
 	}
 }
@@ -117,13 +139,19 @@ type Grid struct {
 	Methods  []string
 	Datasets []string
 	Cells    map[string]map[string]Stats // method -> dataset -> stats
+	// Errors holds per-cell failures recorded under Options.KeepGoing
+	// (seed errors of one cell are joined). Cells present in Errors may
+	// still carry Stats averaged over the seeds that succeeded.
+	Errors map[string]map[string]error
 }
 
 func newGrid(title string, methods, datasets []string) *Grid {
 	g := &Grid{Title: title, Methods: methods, Datasets: datasets,
-		Cells: make(map[string]map[string]Stats)}
+		Cells:  make(map[string]map[string]Stats),
+		Errors: make(map[string]map[string]error)}
 	for _, m := range methods {
 		g.Cells[m] = make(map[string]Stats)
+		g.Errors[m] = make(map[string]error)
 	}
 	return g
 }
@@ -135,6 +163,26 @@ func (g *Grid) Set(method, ds string, s Stats) { g.Cells[method][ds] = s }
 func (g *Grid) Get(method, ds string) (Stats, bool) {
 	s, ok := g.Cells[method][ds]
 	return s, ok
+}
+
+// SetErr records a cell failure (KeepGoing mode).
+func (g *Grid) SetErr(method, ds string, err error) {
+	if g.Errors[method] == nil {
+		g.Errors[method] = make(map[string]error)
+	}
+	g.Errors[method][ds] = err
+}
+
+// Err returns the recorded failure of a cell, or nil.
+func (g *Grid) Err(method, ds string) error { return g.Errors[method][ds] }
+
+// FailedCells counts cells with a recorded error.
+func (g *Grid) FailedCells() int {
+	n := 0
+	for _, row := range g.Errors {
+		n += len(row)
+	}
+	return n
 }
 
 // Avg computes the across-dataset average of one metric for a method,

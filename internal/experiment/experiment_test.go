@@ -1,6 +1,10 @@
 package experiment
 
 import (
+	"context"
+	"errors"
+	"fmt"
+	"reflect"
 	"strings"
 	"testing"
 
@@ -215,11 +219,115 @@ func TestPaperAveragesLookup(t *testing.T) {
 
 func TestRunMethodUnknown(t *testing.T) {
 	o := quickOptions().normalized()
-	g, err := sweep(o, "t", []string{"mystery"},
-		func(method string, d *dataset.Dataset, seed int) (*core.Result, error) {
-			return runMethod(o, method, d, seed)
+	g, err := sweep(context.Background(), o, "t", []string{"mystery"},
+		func(ctx context.Context, method string, d *dataset.Dataset, seed int) (*core.Result, error) {
+			return runMethod(ctx, o, method, d, seed)
 		})
 	if err == nil {
 		t.Errorf("unknown method produced grid %v", g)
+	}
+}
+
+func TestSweepParallelMatchesSerial(t *testing.T) {
+	// The tentpole guarantee: the grid is byte-identical at any worker
+	// count because every cell owns its RNGs and results commit by cell
+	// index, not completion order.
+	serial := quickOptions()
+	serial.Seeds = 2
+	serial.Workers = 1
+	parallel := serial
+	parallel.Workers = 8
+
+	gs, err := MainResults(serial)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gp, err := MainResults(parallel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(gs.Cells, gp.Cells) {
+		t.Errorf("parallel grid differs from serial:\nserial:   %+v\nparallel: %+v", gs.Cells, gp.Cells)
+	}
+}
+
+func TestSweepFailFast(t *testing.T) {
+	o := quickOptions().normalized()
+	o.Workers = 4
+	boom := errors.New("boom")
+	_, err := sweep(context.Background(), o, "t", []string{"a", "b"},
+		func(ctx context.Context, method string, d *dataset.Dataset, seed int) (*core.Result, error) {
+			if method == "b" && d.Name == "sms" {
+				return nil, boom
+			}
+			return &core.Result{Method: method, NumLFs: 1}, nil
+		})
+	if !errors.Is(err, boom) {
+		t.Fatalf("sweep error = %v, want wrapped boom", err)
+	}
+	if want := "experiment b/sms seed 1: boom"; err.Error() != want {
+		t.Errorf("error = %q, want %q", err.Error(), want)
+	}
+}
+
+func TestSweepKeepGoing(t *testing.T) {
+	o := quickOptions().normalized()
+	o.Workers = 4
+	o.Seeds = 2
+	o.KeepGoing = true
+	boom := errors.New("boom")
+	g, err := sweep(context.Background(), o, "t", []string{"a", "b"},
+		func(ctx context.Context, method string, d *dataset.Dataset, seed int) (*core.Result, error) {
+			if method == "b" && d.Name == "sms" && seed == 2 {
+				return nil, boom
+			}
+			return &core.Result{Method: method, NumLFs: 3}, nil
+		})
+	if err != nil {
+		t.Fatalf("KeepGoing surfaced error: %v", err)
+	}
+	if g.FailedCells() != 1 {
+		t.Errorf("failed cells = %d, want 1", g.FailedCells())
+	}
+	if cellErr := g.Err("b", "sms"); !errors.Is(cellErr, boom) {
+		t.Errorf("cell error = %v", cellErr)
+	}
+	// the broken cell still averages over its surviving seed
+	s, ok := g.Get("b", "sms")
+	if !ok || s.Runs != 1 {
+		t.Errorf("partial cell = %+v (%v), want 1 surviving run", s, ok)
+	}
+	// untouched cells are complete
+	if s, _ := g.Get("a", "youtube"); s.Runs != 2 {
+		t.Errorf("healthy cell runs = %d, want 2", s.Runs)
+	}
+}
+
+func TestSweepContextCanceled(t *testing.T) {
+	o := quickOptions().normalized()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := sweep(ctx, o, "t", []string{"a"},
+		func(ctx context.Context, method string, d *dataset.Dataset, seed int) (*core.Result, error) {
+			return nil, ctx.Err()
+		})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("sweep error = %v, want context.Canceled", err)
+	}
+}
+
+func TestSweepWorkerCountIrrelevantForErrors(t *testing.T) {
+	// whatever the worker count, fail-fast reports a deterministic error
+	// once all in-flight cells drain
+	for _, workers := range []int{1, 2, 8} {
+		o := quickOptions().normalized()
+		o.Workers = workers
+		_, err := sweep(context.Background(), o, "t", []string{"x"},
+			func(ctx context.Context, method string, d *dataset.Dataset, seed int) (*core.Result, error) {
+				return nil, fmt.Errorf("always")
+			})
+		if err == nil {
+			t.Fatalf("workers=%d: sweep swallowed the error", workers)
+		}
 	}
 }

@@ -1,7 +1,10 @@
 package experiment
 
 import (
+	"context"
+	"errors"
 	"fmt"
+	"sync"
 
 	"datasculpt/internal/baselines"
 	"datasculpt/internal/core"
@@ -47,7 +50,7 @@ func baseConfig(o Options, seed int) core.Config {
 }
 
 // runMethod executes one (method, dataset, seed) cell.
-func runMethod(o Options, method string, d *dataset.Dataset, seed int) (*core.Result, error) {
+func runMethod(ctx context.Context, o Options, method string, d *dataset.Dataset, seed int) (*core.Result, error) {
 	cfg := baseConfig(o, seed)
 	switch method {
 	case MethodWrench:
@@ -62,7 +65,7 @@ func runMethod(o Options, method string, d *dataset.Dataset, seed int) (*core.Re
 		res.Method = method
 		return res, nil
 	case MethodScriptorium:
-		lfs, meter, err := baselines.Scriptorium(d, o.Model, cfg.Seed+11)
+		lfs, meter, err := baselines.Scriptorium(ctx, d, o.Model, cfg.Seed+11)
 		if err != nil {
 			return nil, err
 		}
@@ -71,13 +74,14 @@ func runMethod(o Options, method string, d *dataset.Dataset, seed int) (*core.Re
 			return nil, err
 		}
 		res.Method = method
-		res.Calls = meter.Calls
-		res.PromptTokens = meter.PromptTokens
-		res.CompletionTokens = meter.CompletionTokens
-		res.CostUSD = meter.CostUSD()
+		usage := meter.Snapshot()
+		res.Calls = usage.Calls
+		res.PromptTokens = usage.PromptTokens
+		res.CompletionTokens = usage.CompletionTokens
+		res.CostUSD = usage.CostUSD
 		return res, nil
 	case MethodPromptedLF:
-		lfs, meter, err := baselines.PromptedLF(d, o.Model, cfg.Seed+17)
+		lfs, meter, err := baselines.PromptedLF(ctx, d, o.Model, cfg.Seed+17)
 		if err != nil {
 			return nil, err
 		}
@@ -86,10 +90,11 @@ func runMethod(o Options, method string, d *dataset.Dataset, seed int) (*core.Re
 			return nil, err
 		}
 		res.Method = method
-		res.Calls = meter.Calls
-		res.PromptTokens = meter.PromptTokens
-		res.CompletionTokens = meter.CompletionTokens
-		res.CostUSD = meter.CostUSD()
+		usage := meter.Snapshot()
+		res.Calls = usage.Calls
+		res.PromptTokens = usage.PromptTokens
+		res.CompletionTokens = usage.CompletionTokens
+		res.CostUSD = usage.CostUSD
 		return res, nil
 	default:
 		variant, ok := variantOf[method]
@@ -97,7 +102,7 @@ func runMethod(o Options, method string, d *dataset.Dataset, seed int) (*core.Re
 			return nil, fmt.Errorf("experiment: unknown method %q", method)
 		}
 		cfg.Variant = variant
-		res, err := core.Run(d, cfg)
+		res, err := core.RunContext(ctx, d, cfg)
 		if err != nil {
 			return nil, err
 		}
@@ -106,28 +111,122 @@ func runMethod(o Options, method string, d *dataset.Dataset, seed int) (*core.Re
 	}
 }
 
-// sweep fills a grid by running `run` for every (method, dataset, seed).
-func sweep(o Options, title string, methods []string,
-	run func(method string, d *dataset.Dataset, seed int) (*core.Result, error)) (*Grid, error) {
-	g := newGrid(title, methods, o.Datasets)
+// cellFunc executes one grid cell.
+type cellFunc func(ctx context.Context, method string, d *dataset.Dataset, seed int) (*core.Result, error)
+
+// cell is one schedulable (method, dataset, seed) unit of the sweep.
+type cell struct {
+	method, ds string
+	seed       int
+}
+
+// sweep fills a grid by running `run` for every (method, dataset, seed)
+// over a pool of Options.Workers goroutines.
+//
+// Determinism: every cell loads its own dataset copy and owns its RNGs
+// and simulated endpoint, and each result is committed to a slot keyed
+// by cell index — so the aggregated grid is byte-identical for any
+// worker count, including 1. Error handling is errgroup-style fail-fast
+// (first error cancels the shared context and wins) unless
+// Options.KeepGoing, which records per-cell errors in the grid and
+// averages each cell over its surviving seeds.
+func sweep(ctx context.Context, o Options, title string, methods []string, run cellFunc) (*Grid, error) {
+	// deterministic cell order: dataset-major, then method, then seed —
+	// the same order the serial runner used
+	var cells []cell
 	for _, dsName := range o.Datasets {
 		for _, method := range methods {
-			var results []*core.Result
 			for s := 1; s <= o.Seeds; s++ {
-				d, err := dataset.Load(dsName, datasetSeed(s), o.Scale)
-				if err != nil {
-					return nil, err
-				}
-				res, err := run(method, d, s)
-				if err != nil {
-					return nil, fmt.Errorf("experiment %s/%s seed %d: %w", method, dsName, s, err)
-				}
-				results = append(results, res)
+				cells = append(cells, cell{method: method, ds: dsName, seed: s})
 			}
-			st := meanStats(results)
+		}
+	}
+
+	results := make([]*core.Result, len(cells))
+	cellErrs := make([]error, len(cells))
+
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	var firstErr error
+	var once sync.Once
+	fail := func(err error) {
+		once.Do(func() {
+			firstErr = err
+			cancel()
+		})
+	}
+
+	workers := o.Workers
+	if workers > len(cells) {
+		workers = len(cells)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				c := cells[i]
+				if err := ctx.Err(); err != nil && !o.KeepGoing {
+					cellErrs[i] = err // sweep canceled; drain remaining cells
+					fail(err)         // no-op unless the parent ctx was canceled first
+					continue
+				}
+				d, err := dataset.Load(c.ds, datasetSeed(c.seed), o.Scale)
+				if err == nil {
+					results[i], err = run(ctx, c.method, d, c.seed)
+				}
+				if err != nil {
+					err = fmt.Errorf("experiment %s/%s seed %d: %w", c.method, c.ds, c.seed, err)
+					cellErrs[i] = err
+					if !o.KeepGoing {
+						fail(err)
+					}
+				}
+			}
+		}()
+	}
+	for i := range cells {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+
+	if !o.KeepGoing && firstErr != nil {
+		return nil, firstErr
+	}
+
+	// aggregate in deterministic order; log lines match the serial runner
+	g := newGrid(title, methods, o.Datasets)
+	i := 0
+	for _, dsName := range o.Datasets {
+		for _, method := range methods {
+			var seedResults []*core.Result
+			var seedErrs []error
+			for s := 1; s <= o.Seeds; s++ {
+				if res := results[i]; res != nil {
+					seedResults = append(seedResults, res)
+				}
+				if err := cellErrs[i]; err != nil {
+					seedErrs = append(seedErrs, err)
+				}
+				i++
+			}
+			if len(seedErrs) > 0 {
+				g.SetErr(method, dsName, errors.Join(seedErrs...))
+			}
+			st := meanStats(seedResults)
 			g.Set(method, dsName, st)
-			o.logf("  %-16s %-8s #LF=%-6.1f acc=%-6.3f cov=%-7.4f total=%-6.3f %s=%-6.3f tok=%.0f",
-				method, dsName, st.NumLFs, st.LFAcc, st.LFCov, st.TotalCov, st.MetricName, st.EM, st.TotalTokens())
+			if len(seedResults) > 0 {
+				o.logf("  %-16s %-8s #LF=%-6.1f acc=%-6.3f cov=%-7.4f total=%-6.3f %s=%-6.3f tok=%.0f",
+					method, dsName, st.NumLFs, st.LFAcc, st.LFCov, st.TotalCov, st.MetricName, st.EM, st.TotalTokens())
+			} else {
+				o.logf("  %-16s %-8s FAILED: %v", method, dsName, g.Err(method, dsName))
+			}
 		}
 	}
 	return g, nil
@@ -136,12 +235,17 @@ func sweep(o Options, title string, methods []string,
 // MainResults runs the Table 2 comparison (which also provides the data
 // of Figures 3 and 4): all seven methods on every dataset.
 func MainResults(o Options) (*Grid, error) {
+	return MainResultsContext(context.Background(), o)
+}
+
+// MainResultsContext is MainResults with cancellation.
+func MainResultsContext(ctx context.Context, o Options) (*Grid, error) {
 	o = o.normalized()
-	o.logf("== main results (Table 2, Figures 3-4): %d datasets x %d seeds, scale %.2f",
-		len(o.Datasets), o.Seeds, o.Scale)
-	return sweep(o, "Table 2: LF statistics and end model performance", MainMethods(),
-		func(method string, d *dataset.Dataset, seed int) (*core.Result, error) {
-			return runMethod(o, method, d, seed)
+	o.logf("== main results (Table 2, Figures 3-4): %d datasets x %d seeds, scale %.2f, %d workers",
+		len(o.Datasets), o.Seeds, o.Scale, o.Workers)
+	return sweep(ctx, o, "Table 2: LF statistics and end model performance", MainMethods(),
+		func(ctx context.Context, method string, d *dataset.Dataset, seed int) (*core.Result, error) {
+			return runMethod(ctx, o, method, d, seed)
 		})
 }
 
@@ -152,14 +256,19 @@ func LLMNames() []string {
 
 // LLMAblation runs Table 3: DataSculpt-SC with each pre-trained model.
 func LLMAblation(o Options) (*Grid, error) {
+	return LLMAblationContext(context.Background(), o)
+}
+
+// LLMAblationContext is LLMAblation with cancellation.
+func LLMAblationContext(ctx context.Context, o Options) (*Grid, error) {
 	o = o.normalized()
 	o.logf("== LLM ablation (Table 3): %d models", len(LLMNames()))
-	return sweep(o, "Table 3: ablation study using different LLMs", LLMNames(),
-		func(model string, d *dataset.Dataset, seed int) (*core.Result, error) {
+	return sweep(ctx, o, "Table 3: ablation study using different LLMs", LLMNames(),
+		func(ctx context.Context, model string, d *dataset.Dataset, seed int) (*core.Result, error) {
 			cfg := baseConfig(o, seed)
 			cfg.Model = model
 			cfg.Variant = core.VariantSC
-			res, err := core.Run(d, cfg)
+			res, err := core.RunContext(ctx, d, cfg)
 			if err != nil {
 				return nil, err
 			}
@@ -174,14 +283,19 @@ func SamplerNames() []string { return []string{"random", "uncertain", "seu"} }
 // SamplerAblation runs Table 4: DataSculpt-SC with each query-selection
 // strategy.
 func SamplerAblation(o Options) (*Grid, error) {
+	return SamplerAblationContext(context.Background(), o)
+}
+
+// SamplerAblationContext is SamplerAblation with cancellation.
+func SamplerAblationContext(ctx context.Context, o Options) (*Grid, error) {
 	o = o.normalized()
 	o.logf("== sampler ablation (Table 4)")
-	return sweep(o, "Table 4: ablation study using different samplers", SamplerNames(),
-		func(smp string, d *dataset.Dataset, seed int) (*core.Result, error) {
+	return sweep(ctx, o, "Table 4: ablation study using different samplers", SamplerNames(),
+		func(ctx context.Context, smp string, d *dataset.Dataset, seed int) (*core.Result, error) {
 			cfg := baseConfig(o, seed)
 			cfg.Variant = core.VariantSC
 			cfg.Sampler = smp
-			res, err := core.Run(d, cfg)
+			res, err := core.RunContext(ctx, d, cfg)
 			if err != nil {
 				return nil, err
 			}
@@ -195,6 +309,11 @@ func FilterNames() []string { return []string{"all", "no accuracy", "no redundan
 
 // FilterAblation runs Table 5: DataSculpt-SC with filter subsets.
 func FilterAblation(o Options) (*Grid, error) {
+	return FilterAblationContext(context.Background(), o)
+}
+
+// FilterAblationContext is FilterAblation with cancellation.
+func FilterAblationContext(ctx context.Context, o Options) (*Grid, error) {
 	o = o.normalized()
 	o.logf("== filter ablation (Table 5)")
 	configs := map[string]lf.FilterConfig{
@@ -202,12 +321,12 @@ func FilterAblation(o Options) (*Grid, error) {
 		"no accuracy":   {UseAccuracy: false, UseRedundancy: true},
 		"no redundancy": {UseAccuracy: true, UseRedundancy: false},
 	}
-	return sweep(o, "Table 5: ablation study using different LF filters", FilterNames(),
-		func(name string, d *dataset.Dataset, seed int) (*core.Result, error) {
+	return sweep(ctx, o, "Table 5: ablation study using different LF filters", FilterNames(),
+		func(ctx context.Context, name string, d *dataset.Dataset, seed int) (*core.Result, error) {
 			cfg := baseConfig(o, seed)
 			cfg.Variant = core.VariantSC
 			cfg.Filters = configs[name]
-			res, err := core.Run(d, cfg)
+			res, err := core.RunContext(ctx, d, cfg)
 			if err != nil {
 				return nil, err
 			}

@@ -1,0 +1,140 @@
+package llm
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"sync"
+)
+
+// Cache is a concurrency-safe memoizing ChatModel middleware. Calls are
+// keyed on (model, messages, temperature, n); a key's first call reaches
+// the inner model and every later call — from any goroutine — returns
+// the stored responses without touching the provider.
+//
+// Identical concurrent misses are single-flighted: one goroutine
+// computes, the rest block on it and share the result, so the provider
+// is billed exactly once per distinct prompt. Errors are not cached —
+// a failed flight is retried by the next caller.
+//
+// Sampling semantics: caching a temperature>0 call replays the stored
+// samples instead of drawing fresh ones. That is exactly the cost/
+// reproducibility trade PromptedLF-style exhaustive prompting needs,
+// but it means cached self-consistency runs see one fixed sample set
+// per prompt.
+type Cache struct {
+	inner ChatModel
+
+	mu       sync.Mutex
+	entries  map[string][]Response
+	inflight map[string]*flight
+	hits     int
+	misses   int
+}
+
+// flight is one in-progress inner call other goroutines can wait on.
+type flight struct {
+	done      chan struct{}
+	responses []Response
+	err       error
+}
+
+// NewCache wraps a model with a fresh cache.
+func NewCache(inner ChatModel) *Cache {
+	return &Cache{
+		inner:    inner,
+		entries:  make(map[string][]Response),
+		inflight: make(map[string]*flight),
+	}
+}
+
+// ModelName implements ChatModel.
+func (c *Cache) ModelName() string { return c.inner.ModelName() }
+
+// Pricing implements ChatModel.
+func (c *Cache) Pricing() (float64, float64) { return c.inner.Pricing() }
+
+// cacheKey serializes the call parameters. Role/content boundaries are
+// escaped by %q so distinct message lists cannot collide.
+func (c *Cache) cacheKey(messages []Message, temperature float64, n int) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s|%g|%d", c.inner.ModelName(), temperature, n)
+	for _, m := range messages {
+		fmt.Fprintf(&b, "|%q:%q", m.Role, m.Content)
+	}
+	return b.String()
+}
+
+// Chat implements ChatModel with memoization.
+func (c *Cache) Chat(ctx context.Context, messages []Message, temperature float64, n int) ([]Response, error) {
+	key := c.cacheKey(messages, temperature, n)
+
+	c.mu.Lock()
+	if resp, ok := c.entries[key]; ok {
+		c.hits++
+		c.mu.Unlock()
+		return cloneResponses(resp), nil
+	}
+	if fl, ok := c.inflight[key]; ok {
+		// join the in-progress identical call
+		c.hits++
+		c.mu.Unlock()
+		select {
+		case <-fl.done:
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+		if fl.err != nil {
+			return nil, fl.err
+		}
+		return cloneResponses(fl.responses), nil
+	}
+	fl := &flight{done: make(chan struct{})}
+	c.inflight[key] = fl
+	c.misses++
+	c.mu.Unlock()
+
+	fl.responses, fl.err = c.inner.Chat(ctx, messages, temperature, n)
+	close(fl.done)
+
+	c.mu.Lock()
+	delete(c.inflight, key)
+	if fl.err == nil {
+		c.entries[key] = fl.responses
+	}
+	c.mu.Unlock()
+	if fl.err != nil {
+		return nil, fl.err
+	}
+	return cloneResponses(fl.responses), nil
+}
+
+// Hits returns how many calls were served from memory (including joins
+// of an in-flight computation).
+func (c *Cache) Hits() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits
+}
+
+// Misses returns how many calls reached the inner model.
+func (c *Cache) Misses() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.misses
+}
+
+// Len returns the number of stored entries.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}
+
+// cloneResponses copies the slice so callers cannot mutate the stored
+// entry (Response values share no mutable internals).
+func cloneResponses(rs []Response) []Response {
+	out := make([]Response, len(rs))
+	copy(out, rs)
+	return out
+}

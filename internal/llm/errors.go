@@ -1,0 +1,20 @@
+package llm
+
+import "errors"
+
+// Typed error categories for ChatModel implementations. Callers branch
+// with errors.Is rather than string matching; the concrete error keeps
+// the provider detail (status code, body excerpt) in its message.
+var (
+	// ErrRateLimited marks a provider 429 (or local rate-limit abort):
+	// the request was well-formed but the endpoint refused it for
+	// throughput reasons. Retryable.
+	ErrRateLimited = errors.New("llm: rate limited")
+	// ErrBadResponse marks a malformed or rejected exchange — undecodable
+	// body, an API error object, a non-retryable HTTP status, or a
+	// response with no choices. Not retryable.
+	ErrBadResponse = errors.New("llm: bad response")
+	// ErrUnavailable marks a transient provider failure (5xx, transport
+	// error). Retryable.
+	ErrUnavailable = errors.New("llm: provider unavailable")
+)

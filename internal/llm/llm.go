@@ -14,7 +14,9 @@
 package llm
 
 import (
+	"context"
 	"fmt"
+	"sync"
 
 	"datasculpt/internal/textproc"
 )
@@ -57,27 +59,45 @@ type Response struct {
 
 // ChatModel is the provider abstraction: everything DataSculpt needs from
 // an LLM endpoint. A production deployment would implement it with an
-// HTTP client; this repo implements it with Simulated.
+// HTTP client; this repo implements it with Simulated. Implementations
+// must be safe for concurrent use: one model instance may serve many
+// pipeline runs at once (see Cache, RateLimiter, Metered).
 type ChatModel interface {
 	// ModelName returns the provider model identifier.
 	ModelName() string
 	// Chat samples n completions for the conversation at the given
-	// temperature and reports per-sample usage.
-	Chat(messages []Message, temperature float64, n int) ([]Response, error)
+	// temperature and reports per-sample usage. It honors ctx
+	// cancellation: long waits (HTTP round trips, retry backoff, rate
+	// limiting) abort when ctx is done.
+	Chat(ctx context.Context, messages []Message, temperature float64, n int) ([]Response, error)
 	// Pricing returns the model's dollar cost per 1M prompt and
 	// completion tokens.
 	Pricing() (promptPer1M, completionPer1M float64)
 }
 
-// Meter accumulates usage and cost across calls to one model. It is not
-// safe for concurrent use; each pipeline run owns its meter.
-type Meter struct {
-	model            string
-	promptPer1M      float64
-	completionPer1M  float64
+// MeterSnapshot is a consistent point-in-time copy of a Meter's counters.
+type MeterSnapshot struct {
 	Calls            int
 	PromptTokens     int
 	CompletionTokens int
+	CostUSD          float64
+}
+
+// TotalTokens returns prompt+completion tokens of the snapshot.
+func (s MeterSnapshot) TotalTokens() int { return s.PromptTokens + s.CompletionTokens }
+
+// Meter accumulates usage and cost across calls to one model. It is
+// mutex-guarded, so a single meter can serve many concurrent pipeline
+// runs (wrap the shared model with NewMetered, or call Record directly).
+type Meter struct {
+	model           string
+	promptPer1M     float64
+	completionPer1M float64
+
+	mu               sync.Mutex
+	calls            int
+	promptTokens     int
+	completionTokens int
 }
 
 // NewMeter creates a meter priced for the given model.
@@ -88,34 +108,83 @@ func NewMeter(m ChatModel) *Meter {
 
 // Record accumulates the usage of one call's responses.
 func (mt *Meter) Record(responses []Response) {
-	mt.Calls++
+	mt.mu.Lock()
+	defer mt.mu.Unlock()
+	mt.calls++
 	for _, r := range responses {
-		mt.PromptTokens += r.Usage.PromptTokens
-		mt.CompletionTokens += r.Usage.CompletionTokens
+		mt.promptTokens += r.Usage.PromptTokens
+		mt.completionTokens += r.Usage.CompletionTokens
 	}
 }
 
+// Calls returns how many Chat calls have been recorded.
+func (mt *Meter) Calls() int {
+	mt.mu.Lock()
+	defer mt.mu.Unlock()
+	return mt.calls
+}
+
+// PromptTokens returns all billed prompt tokens so far.
+func (mt *Meter) PromptTokens() int {
+	mt.mu.Lock()
+	defer mt.mu.Unlock()
+	return mt.promptTokens
+}
+
+// CompletionTokens returns all billed completion tokens so far.
+func (mt *Meter) CompletionTokens() int {
+	mt.mu.Lock()
+	defer mt.mu.Unlock()
+	return mt.completionTokens
+}
+
 // TotalTokens returns all billed tokens so far.
-func (mt *Meter) TotalTokens() int { return mt.PromptTokens + mt.CompletionTokens }
+func (mt *Meter) TotalTokens() int {
+	mt.mu.Lock()
+	defer mt.mu.Unlock()
+	return mt.promptTokens + mt.completionTokens
+}
 
 // CostUSD returns the accumulated dollar cost.
 func (mt *Meter) CostUSD() float64 {
-	return float64(mt.PromptTokens)/1e6*mt.promptPer1M +
-		float64(mt.CompletionTokens)/1e6*mt.completionPer1M
+	mt.mu.Lock()
+	defer mt.mu.Unlock()
+	return mt.costLocked()
+}
+
+func (mt *Meter) costLocked() float64 {
+	return float64(mt.promptTokens)/1e6*mt.promptPer1M +
+		float64(mt.completionTokens)/1e6*mt.completionPer1M
+}
+
+// Snapshot returns a consistent copy of every counter.
+func (mt *Meter) Snapshot() MeterSnapshot {
+	mt.mu.Lock()
+	defer mt.mu.Unlock()
+	return MeterSnapshot{
+		Calls:            mt.calls,
+		PromptTokens:     mt.promptTokens,
+		CompletionTokens: mt.completionTokens,
+		CostUSD:          mt.costLocked(),
+	}
 }
 
 // Merge adds another meter's counts into this one (same model expected;
 // costs are computed with this meter's prices).
 func (mt *Meter) Merge(o *Meter) {
-	mt.Calls += o.Calls
-	mt.PromptTokens += o.PromptTokens
-	mt.CompletionTokens += o.CompletionTokens
+	s := o.Snapshot()
+	mt.mu.Lock()
+	defer mt.mu.Unlock()
+	mt.calls += s.Calls
+	mt.promptTokens += s.PromptTokens
+	mt.completionTokens += s.CompletionTokens
 }
 
 // String summarizes the meter.
 func (mt *Meter) String() string {
+	s := mt.Snapshot()
 	return fmt.Sprintf("%s: %d calls, %d prompt + %d completion tokens, $%.4f",
-		mt.model, mt.Calls, mt.PromptTokens, mt.CompletionTokens, mt.CostUSD())
+		mt.model, s.Calls, s.PromptTokens, s.CompletionTokens, s.CostUSD)
 }
 
 // CountMessageTokens estimates the billed prompt tokens of a message

@@ -1,6 +1,7 @@
 package llm
 
 import (
+	"context"
 	"sort"
 	"strings"
 	"testing"
@@ -67,7 +68,7 @@ func TestSimulatedChatBasic(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	resp, err := m.Chat(basePrompt("please subscribe to my channel for daily videos"), 0.7, 1)
+	resp, err := m.Chat(context.Background(), basePrompt("please subscribe to my channel for daily videos"), 0.7, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -92,7 +93,7 @@ func TestSimulatedSpotsSignals(t *testing.T) {
 	// return "subscribe" with label 1.
 	hits, labels1 := 0, 0
 	n := 100
-	resp, err := m.Chat(basePrompt("hey guys subscribe to my channel for free gift cards"), 0.7, n)
+	resp, err := m.Chat(context.Background(), basePrompt("hey guys subscribe to my channel for free gift cards"), 0.7, n)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -121,7 +122,7 @@ func TestSimulatedCoTAddsExplanation(t *testing.T) {
 	msgs := basePrompt("subscribe now friends")
 	msgs[0].Content = "You are a helpful assistant. After the user provides input, " +
 		"first explain your reason process step by step. Then identify a list of keywords."
-	resp, err := m.Chat(msgs, 0.7, 5)
+	resp, err := m.Chat(context.Background(), msgs, 0.7, 5)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -137,11 +138,11 @@ func TestSimulatedDeterministic(t *testing.T) {
 	m1, _ := NewSimulated("gpt-3.5", d, 99)
 	m2, _ := NewSimulated("gpt-3.5", d, 99)
 	msgs := basePrompt("check out this amazing video")
-	r1, err := m1.Chat(msgs, 0.7, 10)
+	r1, err := m1.Chat(context.Background(), msgs, 0.7, 10)
 	if err != nil {
 		t.Fatal(err)
 	}
-	r2, err := m2.Chat(msgs, 0.7, 10)
+	r2, err := m2.Chat(context.Background(), msgs, 0.7, 10)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -158,7 +159,7 @@ func TestSimulatedSmallModelOffTask(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	resp, err := m.Chat(basePrompt("subscribe please"), 0.7, 300)
+	resp, err := m.Chat(context.Background(), basePrompt("subscribe please"), 0.7, 300)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -178,17 +179,17 @@ func TestSimulatedSmallModelOffTask(t *testing.T) {
 func TestSimulatedRejectsBadInput(t *testing.T) {
 	d := youtubeDS(t)
 	m, _ := NewSimulated("gpt-3.5", d, 1)
-	if _, err := m.Chat(nil, 0.7, 1); err == nil {
+	if _, err := m.Chat(context.Background(), nil, 0.7, 1); err == nil {
 		t.Error("empty prompt accepted")
 	}
-	if _, err := m.Chat(basePrompt("x"), 0.7, 0); err == nil {
+	if _, err := m.Chat(context.Background(), basePrompt("x"), 0.7, 0); err == nil {
 		t.Error("n=0 accepted")
 	}
-	if _, err := m.Chat(basePrompt("x"), -1, 1); err == nil {
+	if _, err := m.Chat(context.Background(), basePrompt("x"), -1, 1); err == nil {
 		t.Error("negative temperature accepted")
 	}
 	noQuery := []Message{{Role: User, Content: "no query line here"}}
-	if _, err := m.Chat(noQuery, 0.7, 1); err == nil {
+	if _, err := m.Chat(context.Background(), noQuery, 0.7, 1); err == nil {
 		t.Error("prompt without Query accepted")
 	}
 }
@@ -197,27 +198,27 @@ func TestMeter(t *testing.T) {
 	d := youtubeDS(t)
 	m, _ := NewSimulated("gpt-3.5", d, 1)
 	meter := NewMeter(m)
-	resp, err := m.Chat(basePrompt("subscribe now"), 0.7, 3)
+	resp, err := m.Chat(context.Background(), basePrompt("subscribe now"), 0.7, 3)
 	if err != nil {
 		t.Fatal(err)
 	}
 	meter.Record(resp)
-	if meter.Calls != 1 {
-		t.Errorf("calls = %d", meter.Calls)
+	if meter.Calls() != 1 {
+		t.Errorf("calls = %d", meter.Calls())
 	}
 	if meter.TotalTokens() <= 0 {
 		t.Error("no tokens recorded")
 	}
 	cost := meter.CostUSD()
-	wantCost := float64(meter.PromptTokens)/1e6*1.5 + float64(meter.CompletionTokens)/1e6*2.0
+	wantCost := float64(meter.PromptTokens())/1e6*1.5 + float64(meter.CompletionTokens())/1e6*2.0
 	if cost != wantCost {
 		t.Errorf("cost = %v, want %v", cost, wantCost)
 	}
 	other := NewMeter(m)
 	other.Record(resp)
 	meter.Merge(other)
-	if meter.Calls != 2 {
-		t.Errorf("merged calls = %d", meter.Calls)
+	if meter.Calls() != 2 {
+		t.Errorf("merged calls = %d", meter.Calls())
 	}
 	if !strings.Contains(meter.String(), "gpt-3.5-turbo-0613") {
 		t.Errorf("meter string = %q", meter.String())
@@ -250,7 +251,7 @@ func TestNegClassReluctance(t *testing.T) {
 		{Role: System, Content: "You are a helpful assistant in a relation classification task."},
 		{Role: User, Content: "Query: john smith worked with mary jones at the company office"},
 	}
-	resp, err := m.Chat(msgs, 0.7, 200)
+	resp, err := m.Chat(context.Background(), msgs, 0.7, 200)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -280,7 +281,7 @@ func TestGenericKeywordDeterministicPerQuery(t *testing.T) {
 	// llama2-7b pads generic keywords often; across many samples of the
 	// same prompt the padded keyword must always be the same phrase
 	// (query-hashed), or self-consistency would discard it.
-	resp, err := m.Chat(basePrompt("subscribe for more daily uploads people"), 0.7, 200)
+	resp, err := m.Chat(context.Background(), basePrompt("subscribe for more daily uploads people"), 0.7, 200)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -333,7 +334,7 @@ func TestTrimmedVariantKeywords(t *testing.T) {
 	}
 	// "gift card" is a spam signal; across many samples some responses
 	// should also contain the trimmed variant "card".
-	resp, err := m.Chat(basePrompt("win a gift card today friends"), 0.7, 300)
+	resp, err := m.Chat(context.Background(), basePrompt("win a gift card today friends"), 0.7, 300)
 	if err != nil {
 		t.Fatal(err)
 	}

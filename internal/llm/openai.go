@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
@@ -16,6 +17,12 @@ import (
 // Simulated model; this client exists so the identical pipeline can be
 // pointed at a real provider — swap the constructor and nothing else
 // changes.
+//
+// It honors context cancellation end-to-end: the HTTP request carries
+// the caller's ctx, and retry backoff aborts as soon as ctx is done.
+// Failures carry typed categories — errors.Is(err, ErrRateLimited),
+// ErrUnavailable (both retried) and ErrBadResponse (returned
+// immediately).
 type OpenAIClient struct {
 	// BaseURL is the API root, e.g. "https://api.openai.com/v1".
 	BaseURL string
@@ -28,16 +35,59 @@ type OpenAIClient struct {
 	PromptPrice, CompletionPrice float64
 	// HTTPClient overrides the default client (30s timeout).
 	HTTPClient *http.Client
-	// MaxRetries bounds retry attempts on 429/5xx responses (default 3).
+	// MaxRetries bounds retry attempts on rate-limit/5xx responses
+	// (default 3).
 	MaxRetries int
 	// RetryDelay is the base backoff delay (default 500ms, doubled per
 	// attempt).
 	RetryDelay time.Duration
+
+	// gate paces outgoing requests when WithRateLimit is set.
+	gate *sendGate
 }
 
-// NewOpenAIClient constructs a client with defaults.
-func NewOpenAIClient(baseURL, apiKey, model string) *OpenAIClient {
-	return &OpenAIClient{
+// Option configures an OpenAIClient at construction.
+type Option func(*OpenAIClient)
+
+// WithPricing sets the USD cost per 1M prompt/completion tokens used by
+// Meter accounting.
+func WithPricing(promptPer1M, completionPer1M float64) Option {
+	return func(c *OpenAIClient) {
+		c.PromptPrice, c.CompletionPrice = promptPer1M, completionPer1M
+	}
+}
+
+// WithMaxRetries bounds retry attempts on retryable failures.
+func WithMaxRetries(n int) Option {
+	return func(c *OpenAIClient) { c.MaxRetries = n }
+}
+
+// WithRetryDelay sets the base backoff delay (doubled per attempt).
+func WithRetryDelay(d time.Duration) Option {
+	return func(c *OpenAIClient) { c.RetryDelay = d }
+}
+
+// WithHTTPClient substitutes the transport (proxies, custom TLS,
+// test servers).
+func WithHTTPClient(h *http.Client) Option {
+	return func(c *OpenAIClient) { c.HTTPClient = h }
+}
+
+// WithRateLimit caps outgoing requests at qps with the given burst — a
+// client-side token bucket so a Workers=N experiment sweep cannot flood
+// a real endpoint. Waits abort on context cancellation.
+func WithRateLimit(qps float64, burst int) Option {
+	return func(c *OpenAIClient) { c.gate = newSendGate(qps, burst) }
+}
+
+// NewOpenAI constructs a client for an OpenAI-compatible endpoint.
+//
+//	llm.NewOpenAI(url, key, "gpt-4o-mini",
+//	    llm.WithPricing(0.15, 0.60),
+//	    llm.WithRateLimit(2, 4),
+//	    llm.WithMaxRetries(5))
+func NewOpenAI(baseURL, apiKey, model string, opts ...Option) *OpenAIClient {
+	c := &OpenAIClient{
 		BaseURL:    baseURL,
 		APIKey:     apiKey,
 		Model:      model,
@@ -45,6 +95,17 @@ func NewOpenAIClient(baseURL, apiKey, model string) *OpenAIClient {
 		MaxRetries: 3,
 		RetryDelay: 500 * time.Millisecond,
 	}
+	for _, opt := range opts {
+		opt(c)
+	}
+	return c
+}
+
+// NewOpenAIClient constructs a client with defaults.
+//
+// Deprecated: use NewOpenAI with functional options.
+func NewOpenAIClient(baseURL, apiKey, model string) *OpenAIClient {
+	return NewOpenAI(baseURL, apiKey, model)
 }
 
 // ModelName implements ChatModel.
@@ -84,9 +145,12 @@ type chatResponse struct {
 }
 
 // Chat implements ChatModel.
-func (c *OpenAIClient) Chat(messages []Message, temperature float64, n int) ([]Response, error) {
+func (c *OpenAIClient) Chat(ctx context.Context, messages []Message, temperature float64, n int) ([]Response, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if n <= 0 {
-		return nil, fmt.Errorf("llm: n=%d samples requested", n)
+		return nil, fmt.Errorf("%w: n=%d samples requested", ErrBadResponse, n)
 	}
 	body := chatRequest{
 		Model:       c.Model,
@@ -117,22 +181,33 @@ func (c *OpenAIClient) Chat(messages []Message, temperature float64, n int) ([]R
 	var lastErr error
 	for attempt := 0; attempt <= retries; attempt++ {
 		if attempt > 0 {
-			time.Sleep(delay)
+			if err := sleepCtx(ctx, delay); err != nil {
+				return nil, fmt.Errorf("llm: backoff aborted: %w", err)
+			}
 			delay *= 2
 		}
-		resp, err := c.doRequest(client, payload)
-		if err != nil {
-			lastErr = err
-			continue
+		if c.gate != nil {
+			if err := c.gate.wait(ctx); err != nil {
+				return nil, err
+			}
 		}
-		return resp, nil
+		resp, err := c.doRequest(ctx, client, payload)
+		if err == nil {
+			return resp, nil
+		}
+		lastErr = err
+		if errors.Is(err, ErrBadResponse) || ctx.Err() != nil {
+			// malformed exchanges don't heal with retries, and a dead
+			// context means the caller already moved on
+			return nil, err
+		}
 	}
 	return nil, fmt.Errorf("llm: chat request failed after %d attempts: %w", retries+1, lastErr)
 }
 
 // doRequest performs one HTTP round trip.
-func (c *OpenAIClient) doRequest(client *http.Client, payload []byte) ([]Response, error) {
-	req, err := http.NewRequestWithContext(context.Background(), http.MethodPost,
+func (c *OpenAIClient) doRequest(ctx context.Context, client *http.Client, payload []byte) ([]Response, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost,
 		c.BaseURL+"/chat/completions", bytes.NewReader(payload))
 	if err != nil {
 		return nil, fmt.Errorf("llm: building request: %w", err)
@@ -143,28 +218,34 @@ func (c *OpenAIClient) doRequest(client *http.Client, payload []byte) ([]Respons
 	}
 	httpResp, err := client.Do(req)
 	if err != nil {
-		return nil, err
+		if ctx.Err() != nil {
+			return nil, ctx.Err()
+		}
+		return nil, fmt.Errorf("%w: %v", ErrUnavailable, err)
 	}
 	defer httpResp.Body.Close()
 	raw, err := io.ReadAll(io.LimitReader(httpResp.Body, 10<<20))
 	if err != nil {
-		return nil, fmt.Errorf("llm: reading response: %w", err)
+		return nil, fmt.Errorf("%w: reading response: %v", ErrUnavailable, err)
 	}
-	if httpResp.StatusCode == http.StatusTooManyRequests || httpResp.StatusCode >= 500 {
-		return nil, fmt.Errorf("llm: retryable status %d: %.200s", httpResp.StatusCode, raw)
+	if httpResp.StatusCode == http.StatusTooManyRequests {
+		return nil, fmt.Errorf("%w: status 429: %.200s", ErrRateLimited, raw)
+	}
+	if httpResp.StatusCode >= 500 {
+		return nil, fmt.Errorf("%w: status %d: %.200s", ErrUnavailable, httpResp.StatusCode, raw)
 	}
 	var parsed chatResponse
 	if err := json.Unmarshal(raw, &parsed); err != nil {
-		return nil, fmt.Errorf("llm: decoding response: %w", err)
+		return nil, fmt.Errorf("%w: decoding body: %v", ErrBadResponse, err)
 	}
 	if parsed.Error != nil {
-		return nil, fmt.Errorf("llm: API error (%s): %s", parsed.Error.Type, parsed.Error.Message)
+		return nil, fmt.Errorf("%w: API error (%s): %s", ErrBadResponse, parsed.Error.Type, parsed.Error.Message)
 	}
 	if httpResp.StatusCode != http.StatusOK {
-		return nil, fmt.Errorf("llm: status %d: %.200s", httpResp.StatusCode, raw)
+		return nil, fmt.Errorf("%w: status %d: %.200s", ErrBadResponse, httpResp.StatusCode, raw)
 	}
 	if len(parsed.Choices) == 0 {
-		return nil, fmt.Errorf("llm: response has no choices")
+		return nil, fmt.Errorf("%w: response has no choices", ErrBadResponse)
 	}
 	out := make([]Response, len(parsed.Choices))
 	// The API reports usage for the whole call; attribute the prompt to

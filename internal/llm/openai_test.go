@@ -1,6 +1,7 @@
 package llm
 
 import (
+	"context"
 	"encoding/json"
 	"net/http"
 	"net/http/httptest"
@@ -50,7 +51,7 @@ func TestOpenAIClientChat(t *testing.T) {
 	})
 	c := NewOpenAIClient(srv.URL+"/v1", "sk-test", "gpt-3.5-turbo")
 	c.PromptPrice, c.CompletionPrice = 1.5, 2.0
-	resp, err := c.Chat([]Message{
+	resp, err := c.Chat(context.Background(), []Message{
 		{Role: System, Content: "task"},
 		{Role: User, Content: "Query: free cash"},
 	}, 0.7, 2)
@@ -97,7 +98,7 @@ func TestOpenAIClientRetriesOn429(t *testing.T) {
 	})
 	c := NewOpenAIClient(srv.URL+"/v1", "", "m")
 	c.RetryDelay = time.Millisecond
-	resp, err := c.Chat([]Message{{Role: User, Content: "Query: x"}}, 0, 1)
+	resp, err := c.Chat(context.Background(), []Message{{Role: User, Content: "Query: x"}}, 0, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -115,7 +116,7 @@ func TestOpenAIClientSurfacesAPIErrors(t *testing.T) {
 	})
 	c := NewOpenAIClient(srv.URL+"/v1", "wrong", "m")
 	c.RetryDelay = time.Millisecond
-	if _, err := c.Chat([]Message{{Role: User, Content: "Query: x"}}, 0, 1); err == nil {
+	if _, err := c.Chat(context.Background(), []Message{{Role: User, Content: "Query: x"}}, 0, 1); err == nil {
 		t.Fatal("401 with API error accepted")
 	} else if !strings.Contains(err.Error(), "bad key") {
 		t.Errorf("error does not surface API message: %v", err)
@@ -131,7 +132,7 @@ func TestOpenAIClientGivesUpAfterRetries(t *testing.T) {
 	c := NewOpenAIClient(srv.URL+"/v1", "", "m")
 	c.MaxRetries = 2
 	c.RetryDelay = time.Millisecond
-	if _, err := c.Chat([]Message{{Role: User, Content: "Query: x"}}, 0, 1); err == nil {
+	if _, err := c.Chat(context.Background(), []Message{{Role: User, Content: "Query: x"}}, 0, 1); err == nil {
 		t.Fatal("persistent 500s accepted")
 	}
 	if calls.Load() != 3 {
@@ -145,10 +146,10 @@ func TestOpenAIClientRejectsEmptyChoices(t *testing.T) {
 	})
 	c := NewOpenAIClient(srv.URL+"/v1", "", "m")
 	c.RetryDelay = time.Millisecond
-	if _, err := c.Chat([]Message{{Role: User, Content: "Query: x"}}, 0, 1); err == nil {
+	if _, err := c.Chat(context.Background(), []Message{{Role: User, Content: "Query: x"}}, 0, 1); err == nil {
 		t.Fatal("empty choices accepted")
 	}
-	if _, err := c.Chat([]Message{{Role: User, Content: "x"}}, 0, 0); err == nil {
+	if _, err := c.Chat(context.Background(), []Message{{Role: User, Content: "x"}}, 0, 0); err == nil {
 		t.Fatal("n=0 accepted")
 	}
 }

@@ -1,0 +1,129 @@
+package llm
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// sendGate is a token-bucket pacer shared by the RateLimiter middleware
+// and the OpenAI client's WithRateLimit option. It admits `burst`
+// immediate sends, then one send per interval, and aborts waits when the
+// caller's context is done.
+type sendGate struct {
+	mu       sync.Mutex
+	interval time.Duration
+	burst    int
+	next     time.Time // earliest time the oldest outstanding slot frees
+	sleep    func(ctx context.Context, d time.Duration) error
+}
+
+// newSendGate builds a gate admitting qps sends per second after an
+// initial burst (burst < 1 is treated as 1).
+func newSendGate(qps float64, burst int) *sendGate {
+	if burst < 1 {
+		burst = 1
+	}
+	return &sendGate{
+		interval: time.Duration(float64(time.Second) / qps),
+		burst:    burst,
+		sleep:    sleepCtx,
+	}
+}
+
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// wait blocks until a send slot is available or ctx is done.
+func (g *sendGate) wait(ctx context.Context) error {
+	g.mu.Lock()
+	now := time.Now()
+	// the bucket never accumulates more than `burst` credit
+	floor := now.Add(-time.Duration(g.burst-1) * g.interval)
+	if g.next.Before(floor) {
+		g.next = floor
+	}
+	wait := g.next.Sub(now)
+	g.next = g.next.Add(g.interval)
+	g.mu.Unlock()
+
+	if wait <= 0 {
+		return nil
+	}
+	if err := g.sleep(ctx, wait); err != nil {
+		return fmt.Errorf("%w: %v", ErrRateLimited, err)
+	}
+	return nil
+}
+
+// RateLimiter is a ChatModel middleware that caps the call rate against
+// a real endpoint with a token bucket: Burst calls pass immediately,
+// further calls are spaced 1/QPS apart. Waiting calls abort when their
+// context is canceled, returning an error wrapping ErrRateLimited.
+//
+// Compose it below the Cache (Cache -> RateLimiter -> client) so cache
+// hits never spend rate budget.
+type RateLimiter struct {
+	inner ChatModel
+	gate  *sendGate
+}
+
+// NewRateLimiter wraps a model with a qps token bucket (burst 1 when
+// burst < 1).
+func NewRateLimiter(inner ChatModel, qps float64, burst int) *RateLimiter {
+	return &RateLimiter{inner: inner, gate: newSendGate(qps, burst)}
+}
+
+// ModelName implements ChatModel.
+func (r *RateLimiter) ModelName() string { return r.inner.ModelName() }
+
+// Pricing implements ChatModel.
+func (r *RateLimiter) Pricing() (float64, float64) { return r.inner.Pricing() }
+
+// Chat implements ChatModel, waiting for a send slot first.
+func (r *RateLimiter) Chat(ctx context.Context, messages []Message, temperature float64, n int) ([]Response, error) {
+	if err := r.gate.wait(ctx); err != nil {
+		return nil, err
+	}
+	return r.inner.Chat(ctx, messages, temperature, n)
+}
+
+// Metered is a ChatModel middleware that records every successful call
+// into a shared mutex-guarded Meter — the usage/cost accounting view of
+// a whole fleet of concurrent pipelines sharing one model.
+type Metered struct {
+	inner ChatModel
+	meter *Meter
+}
+
+// NewMetered wraps a model with a fresh meter priced from it.
+func NewMetered(inner ChatModel) *Metered {
+	return &Metered{inner: inner, meter: NewMeter(inner)}
+}
+
+// Meter returns the shared meter.
+func (m *Metered) Meter() *Meter { return m.meter }
+
+// ModelName implements ChatModel.
+func (m *Metered) ModelName() string { return m.inner.ModelName() }
+
+// Pricing implements ChatModel.
+func (m *Metered) Pricing() (float64, float64) { return m.inner.Pricing() }
+
+// Chat implements ChatModel, recording usage of successful calls.
+func (m *Metered) Chat(ctx context.Context, messages []Message, temperature float64, n int) ([]Response, error) {
+	responses, err := m.inner.Chat(ctx, messages, temperature, n)
+	if err == nil {
+		m.meter.Record(responses)
+	}
+	return responses, err
+}

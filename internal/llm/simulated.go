@@ -1,10 +1,12 @@
 package llm
 
 import (
+	"context"
 	"fmt"
 	"hash/fnv"
 	"math/rand"
 	"strings"
+	"sync"
 
 	"datasculpt/internal/dataset"
 	"datasculpt/internal/textproc"
@@ -28,7 +30,12 @@ type Simulated struct {
 	know         *dataset.SignalTable
 	numClasses   int
 	defaultClass int
-	rng          *rand.Rand
+
+	// mu serializes rng draws so one simulator can be shared by
+	// concurrent pipelines (behind a Cache, the response stream stays
+	// reproducible because each distinct prompt is sampled once).
+	mu  sync.Mutex
+	rng *rand.Rand
 }
 
 // NewSimulated builds the simulator for one dataset. Model accepts
@@ -59,8 +66,15 @@ func (s *Simulated) Pricing() (float64, float64) {
 	return s.profile.PromptPricePer1M, s.profile.CompletionPricePer1M
 }
 
-// Chat implements ChatModel.
-func (s *Simulated) Chat(messages []Message, temperature float64, n int) ([]Response, error) {
+// Chat implements ChatModel. The ctx is checked once up front: the
+// simulator never blocks, so finer-grained cancellation has nothing to
+// interrupt.
+func (s *Simulated) Chat(ctx context.Context, messages []Message, temperature float64, n int) ([]Response, error) {
+	if ctx != nil {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+	}
 	if n <= 0 {
 		return nil, fmt.Errorf("llm: n=%d samples requested", n)
 	}
@@ -72,6 +86,8 @@ func (s *Simulated) Chat(messages []Message, temperature float64, n int) ([]Resp
 		return nil, err
 	}
 	promptTokens := CountMessageTokens(messages)
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	out := make([]Response, n)
 	for i := range out {
 		content := s.generate(parsed, temperature)

@@ -1,9 +1,11 @@
 package llm
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
+	"sync"
 	"time"
 )
 
@@ -20,6 +22,7 @@ type Transcript struct {
 	// Clock overrides time.Now for tests.
 	Clock func() time.Time
 
+	mu    sync.Mutex // serializes the call counter and writes to W
 	calls int
 }
 
@@ -49,13 +52,17 @@ func (t *Transcript) ModelName() string { return t.Inner.ModelName() }
 func (t *Transcript) Pricing() (float64, float64) { return t.Inner.Pricing() }
 
 // Chat implements ChatModel, recording the call regardless of outcome.
-func (t *Transcript) Chat(messages []Message, temperature float64, n int) ([]Response, error) {
+// Records from concurrent pipelines are serialized, one complete JSON
+// line each.
+func (t *Transcript) Chat(ctx context.Context, messages []Message, temperature float64, n int) ([]Response, error) {
 	now := time.Now
 	if t.Clock != nil {
 		now = t.Clock
 	}
 	start := now()
-	responses, err := t.Inner.Chat(messages, temperature, n)
+	responses, err := t.Inner.Chat(ctx, messages, temperature, n)
+	t.mu.Lock()
+	defer t.mu.Unlock()
 	t.calls++
 	rec := transcriptRecord{
 		Call:        t.calls,
@@ -84,4 +91,8 @@ func (t *Transcript) Chat(messages []Message, temperature float64, n int) ([]Res
 }
 
 // Calls returns how many Chat calls have been recorded.
-func (t *Transcript) Calls() int { return t.calls }
+func (t *Transcript) Calls() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.calls
+}

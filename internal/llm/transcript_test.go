@@ -3,6 +3,7 @@ package llm
 import (
 	"bufio"
 	"bytes"
+	"context"
 	"encoding/json"
 	"errors"
 	"strings"
@@ -21,10 +22,10 @@ func TestTranscriptRecordsCalls(t *testing.T) {
 	fixed := time.Date(2026, 7, 6, 12, 0, 0, 0, time.UTC)
 	tr.Clock = func() time.Time { return fixed }
 
-	if _, err := tr.Chat(basePrompt("subscribe please"), 0.7, 3); err != nil {
+	if _, err := tr.Chat(context.Background(), basePrompt("subscribe please"), 0.7, 3); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := tr.Chat(basePrompt("lovely melody"), 0.7, 1); err != nil {
+	if _, err := tr.Chat(context.Background(), basePrompt("lovely melody"), 0.7, 1); err != nil {
 		t.Fatal(err)
 	}
 	if tr.Calls() != 2 {
@@ -68,14 +69,14 @@ type failingModel struct{}
 
 func (failingModel) ModelName() string           { return "failing" }
 func (failingModel) Pricing() (float64, float64) { return 0, 0 }
-func (failingModel) Chat([]Message, float64, int) ([]Response, error) {
+func (failingModel) Chat(context.Context, []Message, float64, int) ([]Response, error) {
 	return nil, errors.New("boom")
 }
 
 func TestTranscriptRecordsErrors(t *testing.T) {
 	var buf bytes.Buffer
 	tr := NewTranscript(failingModel{}, &buf)
-	if _, err := tr.Chat([]Message{{Role: User, Content: "Query: x"}}, 0, 1); err == nil {
+	if _, err := tr.Chat(context.Background(), []Message{{Role: User, Content: "Query: x"}}, 0, 1); err == nil {
 		t.Fatal("inner error swallowed")
 	}
 	var rec transcriptRecord
@@ -96,7 +97,7 @@ func TestTranscriptSurfacesSinkErrors(t *testing.T) {
 	d := youtubeDS(t)
 	inner, _ := NewSimulated("gpt-3.5", d, 9)
 	tr := NewTranscript(inner, brokenWriter{})
-	if _, err := tr.Chat(basePrompt("x y z"), 0.7, 1); err == nil ||
+	if _, err := tr.Chat(context.Background(), basePrompt("x y z"), 0.7, 1); err == nil ||
 		!strings.Contains(err.Error(), "transcript") {
 		t.Errorf("sink error not surfaced: %v", err)
 	}
