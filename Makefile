@@ -4,9 +4,9 @@
 
 GO ?= go
 
-.PHONY: ci vet build test race bench bench-grid clean
+.PHONY: ci vet build test race bench bench-grid bench-json clean
 
-ci: vet build race
+ci: vet build test race
 
 vet:
 	$(GO) vet ./...
@@ -27,6 +27,11 @@ bench:
 # serial vs parallel wall-clock on the identical experiment grid
 bench-grid:
 	$(GO) test -bench=Grid -benchtime=1x -run XXX .
+
+# Grid benchmarks with allocation stats, captured in the standard Go
+# benchmark text format benchstat consumes (`benchstat BENCH_grid.json`)
+bench-json:
+	$(GO) test -bench=Grid -benchtime=1x -benchmem -run XXX . | tee BENCH_grid.json
 
 clean:
 	$(GO) clean ./...

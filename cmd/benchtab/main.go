@@ -24,6 +24,7 @@ import (
 	"strings"
 
 	"datasculpt/internal/experiment"
+	"datasculpt/internal/obs"
 )
 
 func main() {
@@ -40,6 +41,10 @@ func main() {
 	quiet := flag.Bool("quiet", false, "suppress progress logging")
 	compare := flag.Bool("compare", true, "print paper-vs-reproduction averages")
 	markdown := flag.String("markdown", "", "also write a markdown report (EXPERIMENTS.md format) to this path; implies -all")
+	logLevel := flag.String("log-level", "warn", "log verbosity: debug, info, warn, error")
+	traceOut := flag.String("trace-out", "", "stream one JSON span per line (cell > run > iteration > stage) to this file")
+	metricsOut := flag.String("metrics-out", "", "write final metrics here on exit (Prometheus text; JSON if the path ends in .json)")
+	debugAddr := flag.String("debug-addr", "", "serve expvar (/debug/vars) and pprof (/debug/pprof/) on this address; watch grid_cells_done_total for live sweep progress")
 	flag.Parse()
 
 	opts := experiment.Options{
@@ -60,11 +65,28 @@ func main() {
 	if *markdown != "" {
 		*all = true
 	}
+	o, cleanup, err := obs.Setup(obs.SetupConfig{
+		LogLevel:    *logLevel,
+		TracePath:   *traceOut,
+		MetricsPath: *metricsOut,
+		DebugAddr:   *debugAddr,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchtab:", err)
+		os.Exit(1)
+	}
+	opts.Obs = o
 	// Ctrl-C cancels every in-flight cell instead of killing mid-write.
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
-	if err := run(ctx, opts, *table, *figure, *all, *compare, *markdown); err != nil {
-		fmt.Fprintln(os.Stderr, "benchtab:", err)
+	runErr := run(ctx, opts, *table, *figure, *all, *compare, *markdown)
+	// The cleanup writes -metrics-out and flushes the trace sink, so it
+	// must run (and be checked) even when the sweep itself failed.
+	if cerr := cleanup(); runErr == nil {
+		runErr = cerr
+	}
+	if runErr != nil {
+		fmt.Fprintln(os.Stderr, "benchtab:", runErr)
 		os.Exit(1)
 	}
 }

@@ -22,7 +22,9 @@ import (
 	"datasculpt/internal/core"
 	"datasculpt/internal/dataset"
 	"datasculpt/internal/lf"
+	"datasculpt/internal/llm"
 	"datasculpt/internal/metrics"
+	"datasculpt/internal/obs"
 )
 
 func main() {
@@ -40,18 +42,39 @@ func main() {
 	analyze := flag.Bool("analyze", false, "print the Snorkel-style LF analysis table (coverage/overlap/conflict)")
 	saveLFs := flag.String("save-lfs", "", "write the final LF set as JSON to this path")
 	revise := flag.Bool("revise", false, "enable the counterexample-revision pass after the main loop")
+	logLevel := flag.String("log-level", "warn", "log verbosity: debug, info, warn, error")
+	traceOut := flag.String("trace-out", "", "stream one JSON span per line (run > iteration > stage) to this file")
+	metricsOut := flag.String("metrics-out", "", "write final metrics here on exit (Prometheus text; JSON if the path ends in .json)")
+	debugAddr := flag.String("debug-addr", "", "serve expvar (/debug/vars) and pprof (/debug/pprof/) on this address")
 	flag.Parse()
 
 	// Ctrl-C aborts between prompts rather than killing mid-run.
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
-	if err := run(ctx, runOptions{
+	o, cleanup, err := obs.Setup(obs.SetupConfig{
+		LogLevel:    *logLevel,
+		TracePath:   *traceOut,
+		MetricsPath: *metricsOut,
+		DebugAddr:   *debugAddr,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "datasculpt:", err)
+		os.Exit(1)
+	}
+	runErr := run(obs.NewContext(ctx, o), runOptions{
 		dataset: *dsName, variant: *variant, model: *model, sampler: *smp,
 		labelModel: *labelModel, iterations: *iterations, seeds: *seeds,
 		scale: *scale, noAccuracy: *noAccuracy, noRedundancy: *noRedundancy,
 		showLFs: *showLFs, analyze: *analyze, saveLFs: *saveLFs, revise: *revise,
-	}); err != nil {
-		fmt.Fprintln(os.Stderr, "datasculpt:", err)
+		obs: o,
+	})
+	// The cleanup writes -metrics-out and flushes the trace sink, so it
+	// must run (and be checked) even when the run itself failed.
+	if cerr := cleanup(); runErr == nil {
+		runErr = cerr
+	}
+	if runErr != nil {
+		fmt.Fprintln(os.Stderr, "datasculpt:", runErr)
 		os.Exit(1)
 	}
 }
@@ -64,14 +87,19 @@ type runOptions struct {
 	noAccuracy, noRedundancy                     bool
 	showLFs, analyze, revise                     bool
 	saveLFs                                      string
+	obs                                          *obs.Obs
 }
 
 func run(ctx context.Context, o runOptions) error {
 	dsName, variant, model, smp, labelModel := o.dataset, o.variant, o.model, o.sampler, o.labelModel
 	iterations, seeds, scale := o.iterations, o.seeds, o.scale
 	noAccuracy, noRedundancy, showLFs := o.noAccuracy, o.noRedundancy, o.showLFs
+	if o.obs == nil {
+		o.obs = obs.Default()
+	}
 	var results []*core.Result
 	var last *dataset.Dataset
+	var cacheStats llm.CacheStats
 	for s := 1; s <= seeds; s++ {
 		d, err := dataset.Load(dsName, int64(7000+13*s), scale)
 		if err != nil {
@@ -91,10 +119,20 @@ func run(ctx context.Context, o runOptions) error {
 			ReviseRejected: o.revise,
 			Seed:           int64(100*s + 1),
 		}
+		// Same endpoint the pipeline would build itself, with a response
+		// cache in front so the end-of-run summary can report hit rates
+		// (and repeated prompts cost nothing against a real provider).
+		sim, err := llm.NewSimulated(model, d, cfg.Seed+101)
+		if err != nil {
+			return err
+		}
+		cache := llm.NewCache(sim).Instrument(o.obs.Metrics)
+		cfg.ChatModel = cache
 		res, err := core.RunContext(ctx, d, cfg)
 		if err != nil {
 			return err
 		}
+		cacheStats.Add(cache.Stats())
 		results = append(results, res)
 		fmt.Printf("seed %d: %s\n", s, res)
 	}
@@ -125,6 +163,12 @@ func run(ctx context.Context, o runOptions) error {
 	fmt.Printf("  total cov.:  %.3f\n", metrics.Mean(total))
 	fmt.Printf("  end %s: %.3f\n", results[0].MetricName, metrics.Mean(em))
 	fmt.Printf("  tokens:      %.0f  (cost $%.4f)\n", metrics.Mean(tokens), metrics.Mean(cost))
+	var totalCost float64
+	for _, c := range cost {
+		totalCost += c
+	}
+	fmt.Printf("  cache:       %s; total cost $%.4f across %d seed(s)\n",
+		cacheStats, totalCost, seeds)
 
 	final := results[len(results)-1]
 	if o.saveLFs != "" {

@@ -25,6 +25,7 @@ package datasculpt
 import (
 	"context"
 	"io"
+	"log/slog"
 
 	"datasculpt/internal/baselines"
 	"datasculpt/internal/core"
@@ -32,6 +33,7 @@ import (
 	"datasculpt/internal/experiment"
 	"datasculpt/internal/lf"
 	"datasculpt/internal/llm"
+	"datasculpt/internal/obs"
 )
 
 // Dataset is a labeled/unlabeled corpus with train/valid/test splits.
@@ -282,4 +284,57 @@ type (
 	Meter = llm.Meter
 	// MeterSnapshot is a consistent point-in-time copy of a Meter.
 	MeterSnapshot = llm.MeterSnapshot
+	// CacheStats is a consistent point-in-time copy of a Cache's
+	// hit/miss/entry counters, read with Cache.Stats.
+	CacheStats = llm.CacheStats
 )
+
+// Telemetry re-exports. An Obs bundle — tracer, metrics registry and
+// slog logger — attached to the context makes RunContext and
+// MainResultsContext emit hierarchical spans (run > iteration > stage),
+// llm_*/pipeline_*/grid_* metrics and structured logs without any
+// signature change; without one, every instrumentation point is a
+// zero-allocation no-op. See DESIGN.md §10 for the span and metric
+// inventory.
+type (
+	// Obs bundles the three telemetry pillars; build with NewObs or
+	// SetupTelemetry.
+	Obs = obs.Obs
+	// MetricsRegistry is the concurrency-safe counter/gauge/histogram
+	// registry with Prometheus, JSON and expvar exporters.
+	MetricsRegistry = obs.Registry
+	// TelemetryConfig mirrors the CLI telemetry flags for SetupTelemetry.
+	TelemetryConfig = obs.SetupConfig
+	// SpanData is one finished trace span, as stored by the memory
+	// tracer and written per line by the JSONL tracer.
+	SpanData = obs.SpanData
+	// Tracer starts root spans; Span is one live span. External code can
+	// implement Tracer to route spans into its own tracing system.
+	Tracer = obs.Tracer
+	Span   = obs.Span
+)
+
+// NewJSONLTracer streams one JSON object per finished span per line to
+// w; lines are written atomically, so w may be shared by concurrent
+// runs.
+func NewJSONLTracer(w io.Writer) *obs.JSONLTracer { return obs.NewJSONLTracer(w) }
+
+// NewMemoryTracer records finished spans in memory for inspection —
+// the test-friendly sink.
+func NewMemoryTracer() *obs.MemoryTracer { return obs.NewMemoryTracer() }
+
+// NewObs assembles a telemetry bundle, substituting no-ops for nil
+// fields (a nil registry is valid and disables metrics).
+func NewObs(t obs.Tracer, m *MetricsRegistry, l *slog.Logger) *Obs { return obs.New(t, m, l) }
+
+// NewMetricsRegistry builds an empty metrics registry.
+func NewMetricsRegistry() *MetricsRegistry { return obs.NewRegistry() }
+
+// WithTelemetry attaches a bundle to a context; instrumented layers
+// downstream pick it up automatically.
+func WithTelemetry(ctx context.Context, o *Obs) context.Context { return obs.NewContext(ctx, o) }
+
+// SetupTelemetry opens the sinks named by cfg (trace file, metrics
+// file, debug server) exactly as the CLI flags do, returning the bundle
+// and a cleanup that flushes and closes them.
+func SetupTelemetry(cfg TelemetryConfig) (*Obs, func() error, error) { return obs.Setup(cfg) }

@@ -3,6 +3,7 @@ package core
 import (
 	"context"
 	"fmt"
+	"log/slog"
 	"math"
 	"math/rand"
 	"sort"
@@ -13,10 +14,32 @@ import (
 	"datasculpt/internal/lf"
 	"datasculpt/internal/llm"
 	"datasculpt/internal/metrics"
+	"datasculpt/internal/obs"
 	"datasculpt/internal/prompt"
 	"datasculpt/internal/sampler"
 	"datasculpt/internal/textproc"
 )
+
+// pipelineMetrics holds the registry handles the run loop updates. The
+// handles are resolved once per run; with a nil registry every handle
+// is nil and every update is a free no-op.
+type pipelineMetrics struct {
+	runs          *obs.Counter
+	iterations    *obs.Counter
+	parseFailures *obs.Counter
+	lfsKept       *obs.Counter
+	lfsPerIter    *obs.Histogram
+}
+
+func newPipelineMetrics(reg *obs.Registry) pipelineMetrics {
+	return pipelineMetrics{
+		runs:          reg.Counter("pipeline_runs_total", "pipeline runs started"),
+		iterations:    reg.Counter("pipeline_iterations_total", "query iterations executed"),
+		parseFailures: reg.Counter("pipeline_parse_failures_total", "LLM responses the parser rejected entirely"),
+		lfsKept:       reg.Counter("pipeline_lfs_kept_total", "candidate LFs that survived the filter chain"),
+		lfsPerIter:    reg.Histogram("pipeline_lfs_kept_per_iteration", "LFs kept per query iteration", obs.SmallCountBuckets),
+	}
+}
 
 // Run executes the full DataSculpt pipeline on one dataset with one
 // configuration: the 50-iteration LF-generation loop followed by label
@@ -30,7 +53,18 @@ func Run(d *dataset.Dataset, cfg Config) (*Result, error) {
 // LLM call and checked between iterations, so a canceled experiment
 // stops promptly even mid-loop (and a real endpoint's in-flight HTTP
 // request is aborted).
-func RunContext(ctx context.Context, d *dataset.Dataset, cfg Config) (*Result, error) {
+//
+// Telemetry: when an obs bundle travels on the ctx (obs.NewContext),
+// the run emits a `run` span with one `iteration` child per query
+// iteration and per-stage grandchildren (select, prompt, parse, filter,
+// interim — plus revise and aggregate under the run span), streams the
+// pipeline_* and llm_* metrics into the bundle's registry while the run
+// is in flight, and logs structured events through the bundle's logger.
+// Without a bundle every instrumentation point is a no-op and the loop
+// allocates nothing extra. Callers injecting a pre-instrumented
+// cfg.ChatModel should not pass the same registry on the ctx, or LLM
+// traffic is double-counted.
+func RunContext(ctx context.Context, d *dataset.Dataset, cfg Config) (res *Result, err error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
@@ -40,6 +74,24 @@ func RunContext(ctx context.Context, d *dataset.Dataset, cfg Config) (*Result, e
 	if err := d.Validate(); err != nil {
 		return nil, err
 	}
+	o := obs.FromContext(ctx)
+	pm := newPipelineMetrics(o.Metrics)
+	pm.runs.Inc()
+	span := o.StartSpan(ctx, "run")
+	span.SetStr("dataset", d.Name)
+	span.SetStr("variant", string(cfg.Variant))
+	span.SetStr("model", cfg.Model)
+	span.SetInt("iterations", int64(cfg.Iterations))
+	defer func() {
+		if err != nil {
+			span.SetErr(err)
+		} else if res != nil {
+			span.SetInt("lfs_kept", int64(res.NumLFs))
+			span.SetInt("prompt_tokens", int64(res.PromptTokens))
+			span.SetInt("completion_tokens", int64(res.CompletionTokens))
+		}
+		span.End()
+	}()
 	rng := rand.New(rand.NewSource(cfg.Seed))
 
 	model := cfg.ChatModel
@@ -49,6 +101,12 @@ func RunContext(ctx context.Context, d *dataset.Dataset, cfg Config) (*Result, e
 			return nil, err
 		}
 		model = sim
+	}
+	if o.Metrics != nil {
+		// Live llm_* accounting for this run. The wrapper sits above any
+		// injected cache middleware, so the registry's token and cost
+		// totals stay exactly equal to the usage the Result reports.
+		model = llm.NewMetered(model).Instrument(o.Metrics)
 	}
 	meter := llm.NewMeter(model)
 
@@ -61,7 +119,6 @@ func RunContext(ctx context.Context, d *dataset.Dataset, cfg Config) (*Result, e
 	chain := lf.NewFilterChainIndexed(d, cfg.Filters, trainIx, validIx)
 
 	var selector prompt.ExampleSelector
-	var err error
 	if cfg.usesKATE() {
 		selector, err = prompt.NewKATE(d, feat)
 	} else {
@@ -94,25 +151,53 @@ func RunContext(ctx context.Context, d *dataset.Dataset, cfg Config) (*Result, e
 		state.TrainVecs = ev.trainVectors()
 	}
 	parseFailures := 0
+	logDebug := o.Logger.Enabled(ctx, slog.LevelDebug)
 
 	for it := 0; it < cfg.Iterations; it++ {
 		if err := ctx.Err(); err != nil {
 			return nil, fmt.Errorf("core: iteration %d: %w", it, err)
 		}
+		itSpan := span.Child("iteration")
+		itSpan.SetInt("iteration", int64(it))
+
+		selSpan := itSpan.Child("select")
 		id := smp.Next(state, rng)
 		if id < 0 {
+			selSpan.End()
+			itSpan.SetStr("stop", "pool exhausted")
+			itSpan.End()
 			break // pool exhausted
 		}
 		state.Used[id] = true
 		query := d.Train[id]
 		demos := selector.Select(query, cfg.Shots)
 		msgs := prompt.Render(style, d, demos, query)
+		selSpan.End()
+		itSpan.SetInt("query_id", int64(id))
+
+		promptSpan := itSpan.Child("prompt")
 		responses, err := model.Chat(ctx, msgs, cfg.Temperature, nSamples)
 		if err != nil {
+			promptSpan.SetErr(err)
+			promptSpan.End()
+			itSpan.SetErr(err)
+			itSpan.End()
 			return nil, fmt.Errorf("core: iteration %d: %w", it, err)
 		}
 		meter.Record(responses)
+		var promptTok, completionTok int
+		for _, r := range responses {
+			promptTok += r.Usage.PromptTokens
+			completionTok += r.Usage.CompletionTokens
+		}
+		promptSpan.SetInt("prompt_tokens", int64(promptTok))
+		promptSpan.SetInt("completion_tokens", int64(completionTok))
+		promptSpan.End()
+		itSpan.SetInt("prompt_tokens", int64(promptTok))
+		itSpan.SetInt("completion_tokens", int64(completionTok))
+		pm.iterations.Inc()
 
+		parseSpan := itSpan.Child("parse")
 		var parsed *prompt.Parsed
 		if nSamples == 1 {
 			parsed, err = prompt.ParseResponse(responses[0].Content)
@@ -124,34 +209,77 @@ func RunContext(ctx context.Context, d *dataset.Dataset, cfg Config) (*Result, e
 			parsed, err = prompt.SelfConsistency(contents)
 		}
 		if err != nil {
+			parseSpan.SetErr(err)
+			parseSpan.End()
+			itSpan.SetInt("candidates", 0)
+			itSpan.SetInt("kept", 0)
+			itSpan.End()
 			parseFailures++
+			pm.parseFailures.Inc()
+			pm.lfsPerIter.Observe(0)
+			if logDebug {
+				o.Logger.LogAttrs(ctx, slog.LevelDebug, "parse failure",
+					slog.Int("iteration", it), slog.Int("query_id", id),
+					slog.String("error", err.Error()))
+			}
 			continue
 		}
+		parseSpan.End()
+
+		filterSpan := itSpan.Child("filter")
+		kept := 0
 		for _, kw := range parsed.Keywords {
-			chain.Offer(kw, parsed.Label)
+			if f, _ := chain.Offer(kw, parsed.Label); f != nil {
+				kept++
+			}
 		}
+		filterSpan.End()
+		itSpan.SetInt("candidates", int64(len(parsed.Keywords)))
+		itSpan.SetInt("kept", int64(kept))
+		pm.lfsKept.AddInt(kept)
+		pm.lfsPerIter.Observe(float64(kept))
 
 		// Refresh the interim model behind model-driven samplers.
 		if needsInterim && (it+1)%cfg.UncertainRefreshEvery == 0 {
+			interimSpan := itSpan.Child("interim")
 			if endProba, lmProba, err := ev.interimTrainProba(chain.Accepted(), rng); err == nil {
 				state.TrainProba = endProba
 				state.LabelProba = lmProba
 			}
+			interimSpan.End()
+		}
+		itSpan.End()
+		if logDebug {
+			o.Logger.LogAttrs(ctx, slog.LevelDebug, "iteration",
+				slog.Int("iteration", it), slog.Int("query_id", id),
+				slog.Int("candidates", len(parsed.Keywords)), slog.Int("kept", kept),
+				slog.Int("prompt_tokens", promptTok), slog.Int("completion_tokens", completionTok))
 		}
 	}
 
 	if cfg.ReviseRejected {
+		reviseSpan := span.Child("revise")
 		rv := &reviser{
 			d: d, validIx: validIx, selector: selector,
 			style: style, model: model, meter: meter, cfg: &cfg,
 		}
-		if _, _, err := rv.revise(ctx, chain, rng, cfg.MaxRevisions); err != nil {
-			return nil, fmt.Errorf("core: revision pass: %w", err)
+		prompts, added, err := rv.revise(ctx, chain, rng, cfg.MaxRevisions)
+		reviseSpan.SetInt("prompts", int64(prompts))
+		reviseSpan.SetInt("added", int64(added))
+		if err != nil {
+			err = fmt.Errorf("core: revision pass: %w", err)
+			reviseSpan.SetErr(err)
+			reviseSpan.End()
+			return nil, err
 		}
+		reviseSpan.End()
 	}
 
-	res, err := ev.evaluate(chain.Accepted())
+	aggSpan := span.Child("aggregate")
+	res, err = ev.evaluate(chain.Accepted())
 	if err != nil {
+		aggSpan.SetErr(err)
+		aggSpan.End()
 		return nil, err
 	}
 	res.Dataset = d.Name
@@ -163,6 +291,14 @@ func RunContext(ctx context.Context, d *dataset.Dataset, cfg Config) (*Result, e
 	res.PromptTokens = usage.PromptTokens
 	res.CompletionTokens = usage.CompletionTokens
 	res.CostUSD = usage.CostUSD
+	aggSpan.SetInt("num_lfs", int64(res.NumLFs))
+	aggSpan.End()
+	o.Logger.LogAttrs(ctx, slog.LevelInfo, "run complete",
+		slog.String("dataset", res.Dataset), slog.String("method", res.Method),
+		slog.Int("lfs", res.NumLFs), slog.String("metric", res.MetricName),
+		slog.Float64("value", res.EndMetric), slog.Int("calls", res.Calls),
+		slog.Int("tokens", res.TotalTokens()), slog.Float64("cost_usd", res.CostUSD),
+		slog.Int("parse_failures", res.ParseFailures))
 	return res, nil
 }
 

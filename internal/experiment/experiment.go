@@ -13,6 +13,7 @@ import (
 
 	"datasculpt/internal/core"
 	"datasculpt/internal/dataset"
+	"datasculpt/internal/obs"
 )
 
 // Options parameterizes an experiment sweep. Zero values select the
@@ -42,6 +43,13 @@ type Options struct {
 	KeepGoing bool
 	// Log receives progress lines (nil: silent).
 	Log io.Writer
+	// Obs is the telemetry bundle for the sweep (nil: all telemetry
+	// disabled). The runner emits one `cell` span per (method, dataset,
+	// seed) with the pipeline's run span nested underneath, maintains
+	// the grid_* live-progress metrics (cells done/failed, per-cell
+	// duration histogram, busy-worker gauge) in Obs.Metrics, and logs
+	// per-cell completion through Obs.Logger.
+	Obs *obs.Obs
 }
 
 func (o Options) normalized() Options {
@@ -64,6 +72,9 @@ func (o Options) normalized() Options {
 	}
 	if o.Workers <= 0 {
 		o.Workers = runtime.GOMAXPROCS(0)
+	}
+	if o.Obs == nil {
+		o.Obs = obs.Default()
 	}
 	return o
 }

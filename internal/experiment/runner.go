@@ -4,12 +4,15 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"log/slog"
 	"sync"
+	"time"
 
 	"datasculpt/internal/baselines"
 	"datasculpt/internal/core"
 	"datasculpt/internal/dataset"
 	"datasculpt/internal/lf"
+	"datasculpt/internal/obs"
 )
 
 // Method names used across the grids, matching the paper's row labels.
@@ -145,7 +148,17 @@ func sweep(ctx context.Context, o Options, title string, methods []string, run c
 	results := make([]*core.Result, len(cells))
 	cellErrs := make([]error, len(cells))
 
-	ctx, cancel := context.WithCancel(ctx)
+	// grid_* metrics give a live view of the sweep (watch them on
+	// -debug-addr's /debug/vars while a long grid runs)
+	reg := o.Obs.Metrics
+	cellsTotal := reg.Gauge("grid_cells_total", "cells in the current sweep")
+	cellsDone := reg.Counter("grid_cells_done_total", "cells completed (success or failure)")
+	cellsFailed := reg.Counter("grid_cells_failed_total", "cells that returned an error")
+	cellSeconds := reg.Histogram("grid_cell_seconds", "wall-clock per grid cell, seconds", obs.DurationBuckets)
+	workersBusy := reg.Gauge("grid_workers_busy", "workers currently executing a cell")
+	cellsTotal.Set(float64(len(cells)))
+
+	ctx, cancel := context.WithCancel(obs.NewContext(ctx, o.Obs))
 	defer cancel()
 	var firstErr error
 	var once sync.Once
@@ -154,6 +167,44 @@ func sweep(ctx context.Context, o Options, title string, methods []string, run c
 			firstErr = err
 			cancel()
 		})
+	}
+
+	// runCell executes one cell under its own span; the pipeline's run
+	// span nests beneath it via the span-carrying context.
+	runCell := func(i int) {
+		c := cells[i]
+		span := o.Obs.Tracer.StartSpan("cell")
+		span.SetStr("method", c.method)
+		span.SetStr("dataset", c.ds)
+		span.SetInt("seed", int64(c.seed))
+		cctx := obs.ContextWithSpan(ctx, span)
+
+		workersBusy.Add(1)
+		start := time.Now()
+		d, err := dataset.Load(c.ds, datasetSeed(c.seed), o.Scale)
+		if err == nil {
+			results[i], err = run(cctx, c.method, d, c.seed)
+		}
+		dur := time.Since(start)
+		workersBusy.Add(-1)
+		cellSeconds.Observe(dur.Seconds())
+		cellsDone.Inc()
+
+		if err != nil {
+			err = fmt.Errorf("experiment %s/%s seed %d: %w", c.method, c.ds, c.seed, err)
+			cellErrs[i] = err
+			cellsFailed.Inc()
+			span.SetErr(err)
+			if !o.KeepGoing {
+				fail(err)
+			}
+		}
+		span.End()
+		o.Obs.Logger.LogAttrs(ctx, slog.LevelInfo, "cell done",
+			slog.String("method", c.method), slog.String("dataset", c.ds),
+			slog.Int("seed", c.seed), slog.Duration("dur", dur),
+			slog.Int("done", int(cellsDone.Value())), slog.Int("total", len(cells)),
+			slog.Bool("failed", err != nil))
 	}
 
 	workers := o.Workers
@@ -170,23 +221,12 @@ func sweep(ctx context.Context, o Options, title string, methods []string, run c
 		go func() {
 			defer wg.Done()
 			for i := range idx {
-				c := cells[i]
 				if err := ctx.Err(); err != nil && !o.KeepGoing {
 					cellErrs[i] = err // sweep canceled; drain remaining cells
 					fail(err)         // no-op unless the parent ctx was canceled first
 					continue
 				}
-				d, err := dataset.Load(c.ds, datasetSeed(c.seed), o.Scale)
-				if err == nil {
-					results[i], err = run(ctx, c.method, d, c.seed)
-				}
-				if err != nil {
-					err = fmt.Errorf("experiment %s/%s seed %d: %w", c.method, c.ds, c.seed, err)
-					cellErrs[i] = err
-					if !o.KeepGoing {
-						fail(err)
-					}
-				}
+				runCell(i)
 			}
 		}()
 	}

@@ -5,6 +5,8 @@ import (
 	"fmt"
 	"strings"
 	"sync"
+
+	"datasculpt/internal/obs"
 )
 
 // Cache is a concurrency-safe memoizing ChatModel middleware. Calls are
@@ -30,6 +32,11 @@ type Cache struct {
 	inflight map[string]*flight
 	hits     int
 	misses   int
+
+	// telemetry handles; nil (no-op) until Instrument
+	hitCounter  *obs.Counter
+	missCounter *obs.Counter
+	entryGauge  *obs.Gauge
 }
 
 // flight is one in-progress inner call other goroutines can wait on.
@@ -46,6 +53,20 @@ func NewCache(inner ChatModel) *Cache {
 		entries:  make(map[string][]Response),
 		inflight: make(map[string]*flight),
 	}
+}
+
+// Instrument mirrors hit/miss accounting into the registry and returns
+// the receiver for chaining: llm_cache_hits_total, llm_cache_misses_total
+// and the llm_cache_entries gauge.
+func (c *Cache) Instrument(reg *obs.Registry) *Cache {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.hitCounter = reg.Counter("llm_cache_hits_total",
+		"chat calls served from cache (including joined in-flight calls)")
+	c.missCounter = reg.Counter("llm_cache_misses_total",
+		"chat calls that reached the inner model")
+	c.entryGauge = reg.Gauge("llm_cache_entries", "stored cache entries")
+	return c
 }
 
 // ModelName implements ChatModel.
@@ -72,12 +93,14 @@ func (c *Cache) Chat(ctx context.Context, messages []Message, temperature float6
 	c.mu.Lock()
 	if resp, ok := c.entries[key]; ok {
 		c.hits++
+		c.hitCounter.Inc()
 		c.mu.Unlock()
 		return cloneResponses(resp), nil
 	}
 	if fl, ok := c.inflight[key]; ok {
 		// join the in-progress identical call
 		c.hits++
+		c.hitCounter.Inc()
 		c.mu.Unlock()
 		select {
 		case <-fl.done:
@@ -92,6 +115,7 @@ func (c *Cache) Chat(ctx context.Context, messages []Message, temperature float6
 	fl := &flight{done: make(chan struct{})}
 	c.inflight[key] = fl
 	c.misses++
+	c.missCounter.Inc()
 	c.mu.Unlock()
 
 	fl.responses, fl.err = c.inner.Chat(ctx, messages, temperature, n)
@@ -101,6 +125,7 @@ func (c *Cache) Chat(ctx context.Context, messages []Message, temperature float6
 	delete(c.inflight, key)
 	if fl.err == nil {
 		c.entries[key] = fl.responses
+		c.entryGauge.Set(float64(len(c.entries)))
 	}
 	c.mu.Unlock()
 	if fl.err != nil {
@@ -109,27 +134,55 @@ func (c *Cache) Chat(ctx context.Context, messages []Message, temperature float6
 	return cloneResponses(fl.responses), nil
 }
 
+// CacheStats is a consistent point-in-time copy of a Cache's counters.
+type CacheStats struct {
+	// Hits counts calls served from memory (including joins of an
+	// in-flight computation); Misses counts calls that reached the
+	// inner model; Entries is the number of stored responses.
+	Hits, Misses, Entries int
+}
+
+// Calls returns hits+misses.
+func (s CacheStats) Calls() int { return s.Hits + s.Misses }
+
+// HitRate returns hits/(hits+misses), or 0 before any call.
+func (s CacheStats) HitRate() float64 {
+	if total := s.Hits + s.Misses; total > 0 {
+		return float64(s.Hits) / float64(total)
+	}
+	return 0
+}
+
+// Add accumulates another stats snapshot (summaries across several
+// caches, e.g. one per seed).
+func (s *CacheStats) Add(o CacheStats) {
+	s.Hits += o.Hits
+	s.Misses += o.Misses
+	s.Entries += o.Entries
+}
+
+// String renders the one-line summary the datasculpt CLI prints.
+func (s CacheStats) String() string {
+	return fmt.Sprintf("%d hits / %d misses (%.1f%% hit rate), %d entries",
+		s.Hits, s.Misses, 100*s.HitRate(), s.Entries)
+}
+
+// Stats returns a consistent snapshot of the cache counters.
+func (c *Cache) Stats() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return CacheStats{Hits: c.hits, Misses: c.misses, Entries: len(c.entries)}
+}
+
 // Hits returns how many calls were served from memory (including joins
 // of an in-flight computation).
-func (c *Cache) Hits() int {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.hits
-}
+func (c *Cache) Hits() int { return c.Stats().Hits }
 
 // Misses returns how many calls reached the inner model.
-func (c *Cache) Misses() int {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.misses
-}
+func (c *Cache) Misses() int { return c.Stats().Misses }
 
 // Len returns the number of stored entries.
-func (c *Cache) Len() int {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return len(c.entries)
-}
+func (c *Cache) Len() int { return c.Stats().Entries }
 
 // cloneResponses copies the slice so callers cannot mutate the stored
 // entry (Response values share no mutable internals).

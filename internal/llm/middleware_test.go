@@ -10,6 +10,8 @@ import (
 	"sync/atomic"
 	"testing"
 	"time"
+
+	"datasculpt/internal/obs"
 )
 
 // countingModel is a deterministic inner model that counts Chat calls.
@@ -307,6 +309,132 @@ func TestOpenAIOptions(t *testing.T) {
 	old := NewOpenAIClient("http://x", "k", "m")
 	if old.MaxRetries != 3 || old.HTTPClient == nil {
 		t.Errorf("deprecated constructor defaults: %+v", old)
+	}
+}
+
+func TestCacheStatsSnapshot(t *testing.T) {
+	inner := &countingModel{}
+	reg := obs.NewRegistry()
+	c := NewCache(inner).Instrument(reg)
+	ctx := context.Background()
+	for _, prompt := range []string{"a", "a", "b", "a"} {
+		if _, err := c.Chat(ctx, msg(prompt), 0, 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s := c.Stats()
+	if s.Hits != 2 || s.Misses != 2 || s.Entries != 2 {
+		t.Errorf("stats = %+v, want 2/2/2", s)
+	}
+	if s.Calls() != 4 || s.HitRate() != 0.5 {
+		t.Errorf("calls=%d hitRate=%v", s.Calls(), s.HitRate())
+	}
+	// legacy accessors stay consistent with the snapshot
+	if c.Hits() != s.Hits || c.Misses() != s.Misses || c.Len() != s.Entries {
+		t.Error("Hits/Misses/Len diverge from Stats")
+	}
+	// registry mirrors
+	if got := reg.CounterValue("llm_cache_hits_total"); got != 2 {
+		t.Errorf("llm_cache_hits_total = %v, want 2", got)
+	}
+	if got := reg.CounterValue("llm_cache_misses_total"); got != 2 {
+		t.Errorf("llm_cache_misses_total = %v, want 2", got)
+	}
+	var sum CacheStats
+	sum.Add(s)
+	sum.Add(CacheStats{Hits: 1, Misses: 3, Entries: 3})
+	if sum.Hits != 3 || sum.Misses != 5 || sum.Entries != 5 {
+		t.Errorf("CacheStats.Add = %+v", sum)
+	}
+}
+
+func TestMeteredInstrumentMatchesMeter(t *testing.T) {
+	inner := &countingModel{}
+	reg := obs.NewRegistry()
+	m := NewMetered(inner).Instrument(reg)
+	const goroutines, per = 8, 25
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				if _, err := m.Chat(context.Background(), msg(fmt.Sprintf("%d-%d", g, i)), 0.7, 2); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+
+	snap := m.Stats()
+	if snap.Calls != goroutines*per {
+		t.Fatalf("calls = %d, want %d", snap.Calls, goroutines*per)
+	}
+	if got := reg.CounterValue("llm_calls_total"); got != float64(snap.Calls) {
+		t.Errorf("llm_calls_total = %v, want %d", got, snap.Calls)
+	}
+	if got := reg.CounterValue("llm_tokens_total"); got != float64(snap.TotalTokens()) {
+		t.Errorf("llm_tokens_total = %v, want %d", got, snap.TotalTokens())
+	}
+	if got := reg.CounterValue("llm_prompt_tokens_total"); got != float64(snap.PromptTokens) {
+		t.Errorf("llm_prompt_tokens_total = %v, want %d", got, snap.PromptTokens)
+	}
+	// the cost counter is kept exactly equal to the meter, not a float
+	// sum of per-call deltas
+	if got := reg.CounterValue("llm_cost_usd_total"); got != snap.CostUSD {
+		t.Errorf("llm_cost_usd_total = %v, want %v", got, snap.CostUSD)
+	}
+	// failed calls record nothing
+	inner.fail.Store(true)
+	if _, err := m.Chat(context.Background(), msg("boom"), 0, 1); err == nil {
+		t.Fatal("expected inner failure")
+	}
+	if got := reg.CounterValue("llm_calls_total"); got != float64(snap.Calls) {
+		t.Errorf("failed call was counted: %v", got)
+	}
+}
+
+func TestRateLimiterPreCanceledContext(t *testing.T) {
+	inner := &countingModel{}
+	reg := obs.NewRegistry()
+	rl := NewRateLimiter(inner, 1000000, 1000).Instrument(reg)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	// even though a slot is free, a dead context must not pass through
+	if _, err := rl.Chat(ctx, msg("x"), 0, 1); !errors.Is(err, ErrRateLimited) {
+		t.Fatalf("pre-canceled context: err = %v, want ErrRateLimited", err)
+	}
+	if got := inner.calls.Load(); got != 0 {
+		t.Errorf("canceled call reached the inner model %d times", got)
+	}
+	if got := reg.CounterValue("llm_ratelimit_abandoned_total"); got != 1 {
+		t.Errorf("llm_ratelimit_abandoned_total = %v, want 1", got)
+	}
+}
+
+func TestRateLimiterRecordsAbandonedWaitTime(t *testing.T) {
+	inner := &countingModel{}
+	reg := obs.NewRegistry()
+	rl := NewRateLimiter(inner, 0.5, 1).Instrument(reg) // 2s interval
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	if _, err := rl.Chat(ctx, msg("x"), 0, 1); err != nil {
+		t.Fatal(err) // burst slot
+	}
+	if _, err := rl.Chat(ctx, msg("y"), 0, 1); !errors.Is(err, ErrRateLimited) {
+		t.Fatalf("err = %v, want ErrRateLimited", err)
+	}
+	if got := reg.CounterValue("llm_ratelimit_abandoned_total"); got != 1 {
+		t.Errorf("llm_ratelimit_abandoned_total = %v, want 1", got)
+	}
+	hist := reg.Histogram("llm_ratelimit_wait_seconds", "", obs.DurationBuckets).Snapshot()
+	if hist.Count != 1 {
+		t.Errorf("abandoned wait not observed: count = %d, want 1", hist.Count)
+	}
+	if hist.Sum <= 0 || hist.Sum > 1 {
+		t.Errorf("abandoned wait observed %vs, want ~0.02s", hist.Sum)
 	}
 }
 

@@ -187,7 +187,7 @@ func (c *OpenAIClient) Chat(ctx context.Context, messages []Message, temperature
 			delay *= 2
 		}
 		if c.gate != nil {
-			if err := c.gate.wait(ctx); err != nil {
+			if _, err := c.gate.wait(ctx); err != nil {
 				return nil, err
 			}
 		}

@@ -1,0 +1,51 @@
+package obs
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"log/slog"
+	"strings"
+)
+
+// ParseLevel maps a CLI flag value to a slog level. Accepted (case-
+// insensitive): debug, info, warn, warning, error. The empty string
+// means LevelWarn — quiet enough that existing CLI output is unchanged
+// unless the user opts in.
+func ParseLevel(s string) (slog.Level, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "", "warn", "warning":
+		return slog.LevelWarn, nil
+	case "debug":
+		return slog.LevelDebug, nil
+	case "info":
+		return slog.LevelInfo, nil
+	case "error":
+		return slog.LevelError, nil
+	}
+	return 0, fmt.Errorf("obs: unknown log level %q (want debug, info, warn or error)", s)
+}
+
+// NewLogger builds the shared structured logger: a text handler on w at
+// the given level. Every instrumented package logs through one of these
+// so events carry uniform keys (component, dataset, method, seed,
+// iteration, ...).
+func NewLogger(w io.Writer, level slog.Level) *slog.Logger {
+	return slog.New(slog.NewTextHandler(w, &slog.HandlerOptions{Level: level}))
+}
+
+// discardHandler drops everything (slog.DiscardHandler arrives in a
+// later Go release than this module targets).
+type discardHandler struct{}
+
+func (discardHandler) Enabled(context.Context, slog.Level) bool  { return false }
+func (discardHandler) Handle(context.Context, slog.Record) error { return nil }
+func (discardHandler) WithAttrs([]slog.Attr) slog.Handler        { return discardHandler{} }
+func (discardHandler) WithGroup(string) slog.Handler             { return discardHandler{} }
+
+var nopLogger = slog.New(discardHandler{})
+
+// NopLogger returns the logger that discards every record without
+// formatting it (Enabled reports false, so callers guarding with
+// Logger.Enabled pay nothing).
+func NopLogger() *slog.Logger { return nopLogger }

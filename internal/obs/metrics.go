@@ -1,0 +1,362 @@
+package obs
+
+import (
+	"encoding/json"
+	"expvar"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing float64 (float so fractional
+// quantities like dollar cost accumulate exactly like Prometheus
+// counters do). All methods are lock-free and nil-safe: handles from a
+// nil *Registry are nil and every operation on them is a no-op.
+type Counter struct {
+	bits atomic.Uint64 // float64 bits, CAS-updated
+}
+
+// Add accumulates v (negative deltas are ignored — counters only go up).
+func (c *Counter) Add(v float64) {
+	if c == nil || v < 0 {
+		return
+	}
+	addFloat(&c.bits, v)
+}
+
+// Inc adds 1.
+func (c *Counter) Inc() { c.Add(1) }
+
+// AddInt accumulates an integer delta.
+func (c *Counter) AddInt(v int) { c.Add(float64(v)) }
+
+// Value returns the current total.
+func (c *Counter) Value() float64 {
+	if c == nil {
+		return 0
+	}
+	return math.Float64frombits(c.bits.Load())
+}
+
+// Gauge is a settable float64.
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set replaces the value.
+func (g *Gauge) Set(v float64) {
+	if g == nil {
+		return
+	}
+	g.bits.Store(math.Float64bits(v))
+}
+
+// Add moves the value by v (may be negative).
+func (g *Gauge) Add(v float64) {
+	if g == nil {
+		return
+	}
+	addFloat(&g.bits, v)
+}
+
+// Value returns the current value.
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return math.Float64frombits(g.bits.Load())
+}
+
+func addFloat(bits *atomic.Uint64, v float64) {
+	for {
+		old := bits.Load()
+		if bits.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+v)) {
+			return
+		}
+	}
+}
+
+// Histogram counts observations into fixed buckets (Prometheus
+// cumulative-`le` semantics: an observation lands in the first bucket
+// whose upper bound is >= the value, and export accumulates).
+type Histogram struct {
+	bounds []float64 // sorted upper bounds; +Inf is implicit
+	counts []atomic.Uint64
+	sum    atomic.Uint64 // float64 bits
+	total  atomic.Uint64
+}
+
+func newHistogram(bounds []float64) *Histogram {
+	b := make([]float64, len(bounds))
+	copy(b, bounds)
+	sort.Float64s(b)
+	return &Histogram{bounds: b, counts: make([]atomic.Uint64, len(b)+1)}
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	h.counts[sort.SearchFloat64s(h.bounds, v)].Add(1)
+	addFloat(&h.sum, v)
+	h.total.Add(1)
+}
+
+// HistogramSnapshot is a consistent-enough copy for export (individual
+// fields are atomically read; a concurrent Observe may straddle Sum and
+// Count by one observation, as in every lock-free metrics library).
+type HistogramSnapshot struct {
+	// Bounds are the bucket upper bounds; Cumulative[i] counts
+	// observations <= Bounds[i]. Count includes the +Inf bucket.
+	Bounds     []float64 `json:"bounds"`
+	Cumulative []uint64  `json:"cumulative"`
+	Sum        float64   `json:"sum"`
+	Count      uint64    `json:"count"`
+}
+
+// Snapshot exports the histogram state.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	if h == nil {
+		return HistogramSnapshot{}
+	}
+	s := HistogramSnapshot{
+		Bounds:     append([]float64(nil), h.bounds...),
+		Cumulative: make([]uint64, len(h.bounds)),
+		Sum:        math.Float64frombits(h.sum.Load()),
+	}
+	var running uint64
+	for i := range h.bounds {
+		running += h.counts[i].Load()
+		s.Cumulative[i] = running
+	}
+	s.Count = running + h.counts[len(h.bounds)].Load()
+	return s
+}
+
+// Bucket presets for the metrics this repo records.
+var (
+	// DurationBuckets spans 1ms..~65s, doubling — LLM call latency,
+	// rate-limit waits, grid-cell wall clock.
+	DurationBuckets = ExpBuckets(0.001, 2, 17)
+	// TokenBuckets spans 16..~32k tokens per call.
+	TokenBuckets = ExpBuckets(16, 2, 12)
+	// SmallCountBuckets covers per-iteration counts like LFs kept.
+	SmallCountBuckets = []float64{0, 1, 2, 3, 4, 6, 8, 12, 16, 24, 32}
+)
+
+// ExpBuckets returns n bounds starting at start, multiplying by factor.
+func ExpBuckets(start, factor float64, n int) []float64 {
+	out := make([]float64, n)
+	v := start
+	for i := range out {
+		out[i] = v
+		v *= factor
+	}
+	return out
+}
+
+// ---------------------------------------------------------------------
+// registry
+
+type metricKind int
+
+const (
+	kindCounter metricKind = iota
+	kindGauge
+	kindHistogram
+)
+
+type metricEntry struct {
+	kind metricKind
+	help string
+	c    *Counter
+	g    *Gauge
+	h    *Histogram
+}
+
+// Registry is a concurrency-safe collection of named metrics.
+// Registration is idempotent: asking for an existing name returns the
+// same handle (and panics on a kind mismatch — a programming error).
+// A nil *Registry is valid everywhere and hands out nil no-op handles,
+// which is how un-instrumented runs pay nothing.
+type Registry struct {
+	mu      sync.Mutex
+	metrics map[string]*metricEntry
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{metrics: make(map[string]*metricEntry)}
+}
+
+func (r *Registry) entry(name, help string, kind metricKind) *metricEntry {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if e, ok := r.metrics[name]; ok {
+		if e.kind != kind {
+			panic(fmt.Sprintf("obs: metric %q re-registered with a different kind", name))
+		}
+		return e
+	}
+	e := &metricEntry{kind: kind, help: help}
+	switch kind {
+	case kindCounter:
+		e.c = &Counter{}
+	case kindGauge:
+		e.g = &Gauge{}
+	}
+	r.metrics[name] = e
+	return e
+}
+
+// Counter returns (registering if needed) the named counter.
+func (r *Registry) Counter(name, help string) *Counter {
+	if r == nil {
+		return nil
+	}
+	return r.entry(name, help, kindCounter).c
+}
+
+// Gauge returns (registering if needed) the named gauge.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	return r.entry(name, help, kindGauge).g
+}
+
+// Histogram returns (registering if needed) the named histogram. The
+// bounds of the first registration win.
+func (r *Registry) Histogram(name, help string, bounds []float64) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if e, ok := r.metrics[name]; ok {
+		if e.kind != kindHistogram {
+			panic(fmt.Sprintf("obs: metric %q re-registered with a different kind", name))
+		}
+		return e.h
+	}
+	e := &metricEntry{kind: kindHistogram, help: help, h: newHistogram(bounds)}
+	r.metrics[name] = e
+	return e.h
+}
+
+// names returns the registered metric names, sorted, for deterministic
+// export.
+func (r *Registry) sorted() []string {
+	names := make([]string, 0, len(r.metrics))
+	for name := range r.metrics {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// WritePrometheus renders the registry in the Prometheus text exposition
+// format (counters get the conventional *_total names at registration
+// time; this writer does not rename).
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, name := range r.sorted() {
+		e := r.metrics[name]
+		if e.help != "" {
+			if _, err := fmt.Fprintf(w, "# HELP %s %s\n", name, e.help); err != nil {
+				return err
+			}
+		}
+		var err error
+		switch e.kind {
+		case kindCounter:
+			_, err = fmt.Fprintf(w, "# TYPE %s counter\n%s %s\n", name, name, fmtFloat(e.c.Value()))
+		case kindGauge:
+			_, err = fmt.Fprintf(w, "# TYPE %s gauge\n%s %s\n", name, name, fmtFloat(e.g.Value()))
+		case kindHistogram:
+			if _, err = fmt.Fprintf(w, "# TYPE %s histogram\n", name); err != nil {
+				return err
+			}
+			s := e.h.Snapshot()
+			for i, le := range s.Bounds {
+				if _, err = fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", name, fmtFloat(le), s.Cumulative[i]); err != nil {
+					return err
+				}
+			}
+			if _, err = fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", name, s.Count); err != nil {
+				return err
+			}
+			_, err = fmt.Fprintf(w, "%s_sum %s\n%s_count %d\n", name, fmtFloat(s.Sum), name, s.Count)
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func fmtFloat(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+
+// Snapshot returns every metric's current value keyed by name: float64
+// for counters and gauges, HistogramSnapshot for histograms.
+func (r *Registry) Snapshot() map[string]any {
+	out := make(map[string]any)
+	if r == nil {
+		return out
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for name, e := range r.metrics {
+		switch e.kind {
+		case kindCounter:
+			out[name] = e.c.Value()
+		case kindGauge:
+			out[name] = e.g.Value()
+		case kindHistogram:
+			out[name] = e.h.Snapshot()
+		}
+	}
+	return out
+}
+
+// WriteJSON renders the Snapshot as indented JSON.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r.Snapshot())
+}
+
+// CounterValue is a convenience read of a registered counter (0 when
+// absent) — handy for tests and end-of-run summaries.
+func (r *Registry) CounterValue(name string) float64 {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	e, ok := r.metrics[name]
+	r.mu.Unlock()
+	if !ok || e.kind != kindCounter {
+		return 0
+	}
+	return e.c.Value()
+}
+
+// Publish exposes the registry's Snapshot under the given expvar name
+// (and thereby on -debug-addr's /debug/vars). Publishing the same name
+// twice is a no-op rather than the expvar panic, so tests can call it
+// repeatedly; the first registry wins for the life of the process.
+func (r *Registry) Publish(name string) {
+	if r == nil || expvar.Get(name) != nil {
+		return
+	}
+	expvar.Publish(name, expvar.Func(func() any { return r.Snapshot() }))
+}

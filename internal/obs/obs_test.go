@@ -1,0 +1,174 @@
+package obs
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"log/slog"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestContextRoundTrip(t *testing.T) {
+	ctx := context.Background()
+	if got := FromContext(ctx); got != Default() {
+		t.Error("bare context must yield the disabled default bundle")
+	}
+	o := New(NewMemoryTracer(), NewRegistry(), nil)
+	ctx = NewContext(ctx, o)
+	if FromContext(ctx) != o {
+		t.Error("bundle did not round-trip through the context")
+	}
+	if FromContext(NewContext(context.Background(), nil)) != Default() {
+		t.Error("nil bundle must fall back to the default")
+	}
+}
+
+func TestStartSpanParentsUnderContextSpan(t *testing.T) {
+	tr := NewMemoryTracer()
+	o := New(tr, nil, nil)
+	parent := tr.StartSpan("cell")
+	ctx := ContextWithSpan(context.Background(), parent)
+	child := o.StartSpan(ctx, "run")
+	child.End()
+	parent.End()
+	spans := tr.Spans()
+	if len(spans) != 2 || spans[0].Name != "run" {
+		t.Fatalf("unexpected spans: %+v", spans)
+	}
+	if spans[0].Parent != spans[1].Span || spans[0].Trace != spans[1].Trace {
+		t.Error("run span is not a child of the context's cell span")
+	}
+	// without a context span, StartSpan roots a fresh trace
+	root := o.StartSpan(context.Background(), "solo")
+	root.End()
+	if got := tr.Named("solo"); len(got) != 1 || got[0].Parent != "" {
+		t.Errorf("solo span should be a root: %+v", got)
+	}
+}
+
+func TestParseLevel(t *testing.T) {
+	for in, want := range map[string]slog.Level{
+		"":      slog.LevelWarn,
+		"warn":  slog.LevelWarn,
+		"DEBUG": slog.LevelDebug,
+		"info":  slog.LevelInfo,
+		"error": slog.LevelError,
+	} {
+		got, err := ParseLevel(in)
+		if err != nil || got != want {
+			t.Errorf("ParseLevel(%q) = %v, %v; want %v", in, got, err, want)
+		}
+	}
+	if _, err := ParseLevel("loud"); err == nil {
+		t.Error("ParseLevel accepted garbage")
+	}
+}
+
+func TestLoggerLevels(t *testing.T) {
+	var buf bytes.Buffer
+	lg := NewLogger(&buf, slog.LevelInfo)
+	lg.Debug("hidden")
+	lg.Info("shown", "k", 1)
+	out := buf.String()
+	if strings.Contains(out, "hidden") || !strings.Contains(out, "shown") {
+		t.Errorf("level filtering broken: %q", out)
+	}
+	if NopLogger().Enabled(context.Background(), slog.LevelError) {
+		t.Error("NopLogger must report every level disabled")
+	}
+}
+
+func TestSetupSinks(t *testing.T) {
+	dir := t.TempDir()
+	tracePath := filepath.Join(dir, "trace.jsonl")
+	promPath := filepath.Join(dir, "metrics.prom")
+	jsonPath := filepath.Join(dir, "metrics.json")
+
+	o, cleanup, err := Setup(SetupConfig{
+		LogLevel:    "info",
+		LogOutput:   &bytes.Buffer{},
+		TracePath:   tracePath,
+		MetricsPath: promPath,
+		ExpvarName:  "obs_setup_test",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := o.StartSpan(context.Background(), "run")
+	s.SetInt("iterations", 2)
+	s.Child("iteration").End()
+	s.End()
+	o.Metrics.Counter("llm_tokens_total", "billed tokens").Add(321)
+	if err := cleanup(); err != nil {
+		t.Fatal(err)
+	}
+
+	f, err := os.Open(tracePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	lines := 0
+	for sc.Scan() {
+		var d SpanData
+		if err := json.Unmarshal(sc.Bytes(), &d); err != nil {
+			t.Fatalf("trace line %d invalid: %v", lines+1, err)
+		}
+		lines++
+	}
+	if lines != 2 {
+		t.Errorf("trace has %d lines, want 2", lines)
+	}
+
+	prom, err := os.ReadFile(promPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(prom), "llm_tokens_total 321") {
+		t.Errorf("metrics file missing counter:\n%s", prom)
+	}
+
+	// .json extension switches the exporter
+	o2, cleanup2, err := Setup(SetupConfig{MetricsPath: jsonPath, LogOutput: &bytes.Buffer{}, ExpvarName: "obs_setup_test"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	o2.Metrics.Gauge("g", "").Set(1)
+	if err := cleanup2(); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(jsonPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m map[string]any
+	if err := json.Unmarshal(raw, &m); err != nil {
+		t.Fatalf("json metrics file invalid: %v", err)
+	}
+
+	if _, _, err := Setup(SetupConfig{LogLevel: "nope"}); err == nil {
+		t.Error("Setup accepted an invalid log level")
+	}
+}
+
+func TestSetupDebugAddr(t *testing.T) {
+	o, cleanup, err := Setup(SetupConfig{
+		DebugAddr:  "127.0.0.1:0",
+		LogOutput:  &bytes.Buffer{},
+		ExpvarName: "obs_debug_test",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.Metrics == nil {
+		t.Error("Setup must always provide a registry")
+	}
+	if err := cleanup(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,119 @@
+package obs
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	_ "net/http/pprof" // -debug-addr serves profiles from DefaultServeMux
+	"os"
+	"strings"
+)
+
+// SetupConfig mirrors the telemetry CLI flags shared by cmd/datasculpt
+// and cmd/benchtab.
+type SetupConfig struct {
+	// LogLevel is the -log-level flag (debug, info, warn, error; ""
+	// means warn).
+	LogLevel string
+	// LogOutput receives log records (default os.Stderr).
+	LogOutput io.Writer
+	// TracePath, when non-empty, streams one JSON span per line there
+	// (-trace-out).
+	TracePath string
+	// MetricsPath, when non-empty, is written on cleanup: Prometheus
+	// text format, or JSON when the path ends in .json (-metrics-out).
+	MetricsPath string
+	// DebugAddr, when non-empty, serves expvar (/debug/vars) and pprof
+	// (/debug/pprof/) on that address for the life of the process
+	// (-debug-addr).
+	DebugAddr string
+	// ExpvarName is the expvar key the registry publishes under
+	// (default "datasculpt_metrics").
+	ExpvarName string
+}
+
+// Setup opens every sink named by cfg and returns the assembled bundle
+// plus a cleanup function that flushes and closes them (writing the
+// metrics file, closing the trace file, shutting the debug listener).
+// The registry is always real, so metrics accumulate even when only
+// -debug-addr consumes them.
+func Setup(cfg SetupConfig) (*Obs, func() error, error) {
+	level, err := ParseLevel(cfg.LogLevel)
+	if err != nil {
+		return nil, nil, err
+	}
+	logOut := cfg.LogOutput
+	if logOut == nil {
+		logOut = os.Stderr
+	}
+	logger := NewLogger(logOut, level)
+	reg := NewRegistry()
+
+	var cleanups []func() error
+	fail := func(err error) (*Obs, func() error, error) {
+		for i := len(cleanups) - 1; i >= 0; i-- {
+			cleanups[i]() //nolint:errcheck — already failing
+		}
+		return nil, nil, err
+	}
+
+	tracer := Tracer(NopTracer())
+	if cfg.TracePath != "" {
+		f, err := os.Create(cfg.TracePath)
+		if err != nil {
+			return fail(fmt.Errorf("obs: opening trace sink: %w", err))
+		}
+		jt := NewJSONLTracer(f)
+		tracer = jt
+		cleanups = append(cleanups, func() error {
+			if err := jt.Err(); err != nil {
+				f.Close()
+				return fmt.Errorf("obs: trace sink: %w", err)
+			}
+			return f.Close()
+		})
+	}
+
+	if cfg.MetricsPath != "" {
+		path := cfg.MetricsPath
+		cleanups = append(cleanups, func() error {
+			f, err := os.Create(path)
+			if err != nil {
+				return fmt.Errorf("obs: opening metrics sink: %w", err)
+			}
+			if strings.HasSuffix(path, ".json") {
+				err = reg.WriteJSON(f)
+			} else {
+				err = reg.WritePrometheus(f)
+			}
+			return errors.Join(err, f.Close())
+		})
+	}
+
+	name := cfg.ExpvarName
+	if name == "" {
+		name = "datasculpt_metrics"
+	}
+	reg.Publish(name)
+
+	if cfg.DebugAddr != "" {
+		ln, err := net.Listen("tcp", cfg.DebugAddr)
+		if err != nil {
+			return fail(fmt.Errorf("obs: debug listener: %w", err))
+		}
+		logger.Info("debug server listening", "addr", ln.Addr().String())
+		go http.Serve(ln, nil) //nolint:errcheck — closed by cleanup
+		cleanups = append(cleanups, ln.Close)
+	}
+
+	cleanup := func() error {
+		var errs []error
+		for i := len(cleanups) - 1; i >= 0; i-- {
+			errs = append(errs, cleanups[i]())
+		}
+		return errors.Join(errs...)
+	}
+	return New(tracer, reg, logger), cleanup, nil
+}

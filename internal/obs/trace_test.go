@@ -1,0 +1,165 @@
+package obs
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestMemoryTracerHierarchy(t *testing.T) {
+	tr := NewMemoryTracer()
+	run := tr.StartSpan("run")
+	run.SetStr("dataset", "youtube")
+	it := run.Child("iteration")
+	it.SetInt("iteration", 3)
+	stage := it.Child("prompt")
+	stage.SetFloat("temp", 0.7)
+	stage.SetErr(errors.New("boom"))
+	stage.End()
+	it.End()
+	run.End()
+
+	spans := tr.Spans()
+	if len(spans) != 3 {
+		t.Fatalf("got %d spans, want 3", len(spans))
+	}
+	// children end first
+	if spans[0].Name != "prompt" || spans[1].Name != "iteration" || spans[2].Name != "run" {
+		t.Fatalf("unexpected order: %s %s %s", spans[0].Name, spans[1].Name, spans[2].Name)
+	}
+	if spans[0].Trace != spans[2].Trace || spans[1].Trace != spans[2].Trace {
+		t.Error("spans of one tree must share a trace id")
+	}
+	if spans[1].Parent != spans[2].Span {
+		t.Errorf("iteration parent = %q, want run span %q", spans[1].Parent, spans[2].Span)
+	}
+	if spans[0].Parent != spans[1].Span {
+		t.Errorf("stage parent = %q, want iteration span %q", spans[0].Parent, spans[1].Span)
+	}
+	if spans[0].Error != "boom" {
+		t.Errorf("stage error = %q, want boom", spans[0].Error)
+	}
+	if v, ok := spans[1].Int("iteration"); !ok || v != 3 {
+		t.Errorf("iteration attr = %d/%v, want 3/true", v, ok)
+	}
+	if s, ok := spans[2].Str("dataset"); !ok || s != "youtube" {
+		t.Errorf("dataset attr = %q/%v", s, ok)
+	}
+	if spans[2].End.Before(spans[2].Start) || spans[2].DurationMS < 0 {
+		t.Error("run span has negative duration")
+	}
+
+	// attributes after End are dropped; End is idempotent
+	run.SetInt("late", 1)
+	run.End()
+	if got := tr.Spans(); len(got) != 3 {
+		t.Fatalf("double End recorded again: %d spans", len(got))
+	}
+	if _, ok := tr.Spans()[2].Int("late"); ok {
+		t.Error("attribute set after End was recorded")
+	}
+}
+
+func TestJSONLTracerConcurrentLinesStayIntact(t *testing.T) {
+	var buf bytes.Buffer
+	var mu sync.Mutex
+	safe := writerFunc(func(p []byte) (int, error) {
+		mu.Lock()
+		defer mu.Unlock()
+		return buf.Write(p)
+	})
+	tr := NewJSONLTracer(safe)
+
+	const goroutines, spansEach = 8, 50
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < spansEach; i++ {
+				s := tr.StartSpan("work")
+				s.SetInt("goroutine", int64(g))
+				s.SetInt("i", int64(i))
+				s.SetStr("payload", "0123456789abcdef0123456789abcdef")
+				s.End()
+			}
+		}(g)
+	}
+	wg.Wait()
+	if err := tr.Err(); err != nil {
+		t.Fatal(err)
+	}
+
+	mu.Lock()
+	data := buf.Bytes()
+	mu.Unlock()
+	sc := bufio.NewScanner(bytes.NewReader(data))
+	lines := 0
+	for sc.Scan() {
+		var d SpanData
+		if err := json.Unmarshal(sc.Bytes(), &d); err != nil {
+			t.Fatalf("line %d is not valid JSON: %v\n%s", lines+1, err, sc.Text())
+		}
+		if d.Name != "work" {
+			t.Fatalf("line %d: corrupt span name %q", lines+1, d.Name)
+		}
+		lines++
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if want := goroutines * spansEach; lines != want {
+		t.Fatalf("got %d JSONL lines, want %d", lines, want)
+	}
+}
+
+type writerFunc func(p []byte) (int, error)
+
+func (f writerFunc) Write(p []byte) (int, error) { return f(p) }
+
+func TestJSONLTracerSurfacesWriteError(t *testing.T) {
+	tr := NewJSONLTracer(writerFunc(func([]byte) (int, error) {
+		return 0, fmt.Errorf("disk full")
+	}))
+	s := tr.StartSpan("x")
+	s.End()
+	if tr.Err() == nil {
+		t.Fatal("write error was swallowed")
+	}
+}
+
+// TestNopTelemetryZeroAllocs proves the acceptance criterion: with the
+// no-op tracer (and nil registry handles, and the discard logger) the
+// full per-iteration instrumentation sequence of the pipeline allocates
+// nothing.
+func TestNopTelemetryZeroAllocs(t *testing.T) {
+	o := Default()
+	var c *Counter
+	var h *Histogram
+	allocs := testing.AllocsPerRun(1000, func() {
+		it := o.Tracer.StartSpan("run").Child("iteration")
+		it.SetInt("iteration", 7)
+		it.SetInt("query_id", 42)
+		for _, stage := range [...]string{"select", "prompt", "parse", "filter"} {
+			s := it.Child(stage)
+			s.SetInt("prompt_tokens", 123)
+			s.End()
+		}
+		it.SetInt("candidates", 3)
+		it.SetInt("kept", 2)
+		it.End()
+		c.AddInt(2)
+		c.Inc()
+		h.Observe(2)
+		if o.Logger.Enabled(nil, -4) { //nolint:staticcheck — nil ctx is fine for Enabled
+			t.Error("discard logger claims debug enabled")
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("no-op telemetry path allocates %.1f times per iteration, want 0", allocs)
+	}
+}

@@ -1,0 +1,187 @@
+package datasculpt
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"math"
+	"sync"
+	"testing"
+
+	"datasculpt/internal/obs"
+)
+
+// TestSharedTelemetryConcurrentRuns is the ISSUE's observability -race
+// test: many concurrent pipeline runs share one metrics registry and one
+// JSONL trace sink. Counter totals must reconcile exactly with the
+// usage the Results report, and the trace stream must contain only
+// whole, parseable lines — no interleaving under concurrency.
+func TestSharedTelemetryConcurrentRuns(t *testing.T) {
+	const goroutines = 8
+
+	reg := obs.NewRegistry()
+	var trace bytes.Buffer
+	tracer := obs.NewJSONLTracer(&trace)
+	ctx := obs.NewContext(context.Background(), obs.New(tracer, reg, nil))
+
+	var wg sync.WaitGroup
+	results := make([]*Result, goroutines)
+	errs := make([]error, goroutines)
+	for i := 0; i < goroutines; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			// independent model stacks; only the telemetry is shared
+			d, err := LoadDataset("youtube", 11, 0.2)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			results[i], errs[i] = RunContext(ctx, d, stressConfig())
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("goroutine %d: %v", i, err)
+		}
+	}
+	if err := tracer.Err(); err != nil {
+		t.Fatalf("trace sink error: %v", err)
+	}
+
+	// ground truth from the Results themselves
+	var calls, promptTok, completionTok int
+	var cost float64
+	for _, r := range results {
+		calls += r.Calls
+		promptTok += r.PromptTokens
+		completionTok += r.CompletionTokens
+		cost += r.CostUSD
+	}
+	if calls == 0 || promptTok == 0 {
+		t.Fatalf("runs issued no LLM calls: calls=%d promptTok=%d", calls, promptTok)
+	}
+
+	// integer counters must match the summed Result usage exactly
+	exact := map[string]float64{
+		"llm_calls_total":             float64(calls),
+		"llm_prompt_tokens_total":     float64(promptTok),
+		"llm_completion_tokens_total": float64(completionTok),
+		"llm_tokens_total":            float64(promptTok + completionTok),
+		"pipeline_runs_total":         goroutines,
+		// base variant issues exactly one chat call per iteration, so the
+		// iteration counter reconciles against the call ledger too
+		"pipeline_iterations_total": float64(calls),
+	}
+	for name, want := range exact {
+		if got := reg.CounterValue(name); got != want {
+			t.Errorf("%s = %v, want %v", name, got, want)
+		}
+	}
+	// the cost counter accumulates per-call float deltas whose addition
+	// order varies across interleavings; allow last-ulp slack only
+	if got := reg.CounterValue("llm_cost_usd_total"); math.Abs(got-cost) > 1e-9 {
+		t.Errorf("llm_cost_usd_total = %v, want %v (Δ=%g)", got, cost, got-cost)
+	}
+
+	// every trace line is one complete JSON span
+	runSpans := map[string]bool{} // span id -> is a run span
+	var iterations int
+	lines := bytes.Split(bytes.TrimRight(trace.Bytes(), "\n"), []byte("\n"))
+	for n, line := range lines {
+		var d obs.SpanData
+		if err := json.Unmarshal(line, &d); err != nil {
+			t.Fatalf("trace line %d corrupt: %v\n%s", n+1, err, line)
+		}
+		if d.Span == "" || d.Name == "" || d.End.Before(d.Start) {
+			t.Fatalf("trace line %d malformed: %+v", n+1, d)
+		}
+		switch d.Name {
+		case "run":
+			runSpans[d.Trace+"/"+d.Span] = true
+		case "iteration":
+			iterations++
+		}
+	}
+	if len(runSpans) != goroutines {
+		t.Errorf("run spans = %d, want %d", len(runSpans), goroutines)
+	}
+	if iterations != calls {
+		t.Errorf("iteration spans = %d, want %d", iterations, calls)
+	}
+	// iteration spans hang off their goroutine's run span
+	for _, line := range lines {
+		var d obs.SpanData
+		if err := json.Unmarshal(line, &d); err != nil {
+			t.Fatal(err)
+		}
+		if d.Name == "iteration" && !runSpans[d.Trace+"/"+d.Parent] {
+			t.Fatalf("iteration span %s has non-run parent %q", d.Span, d.Parent)
+		}
+	}
+}
+
+// TestTraceHierarchyTokenAttrs checks the span tree of a single run: one
+// run root, iteration children carrying per-iteration token attrs that
+// sum to the Result's usage, and the per-stage grandchildren underneath.
+func TestTraceHierarchyTokenAttrs(t *testing.T) {
+	tracer := obs.NewMemoryTracer()
+	ctx := obs.NewContext(context.Background(), obs.New(tracer, nil, nil))
+
+	res, err := RunContext(ctx, stressDataset(t), stressConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	runs := tracer.Named("run")
+	if len(runs) != 1 {
+		t.Fatalf("run spans = %d, want 1", len(runs))
+	}
+	run := runs[0]
+	if ds, _ := run.Str("dataset"); ds != "youtube" {
+		t.Errorf("run dataset attr = %q, want youtube", ds)
+	}
+	if kept, ok := run.Int("lfs_kept"); !ok || kept != int64(res.NumLFs) {
+		t.Errorf("run lfs_kept attr = %d (ok=%v), want %d", kept, ok, res.NumLFs)
+	}
+
+	iters := tracer.Named("iteration")
+	if len(iters) != res.Calls {
+		t.Fatalf("iteration spans = %d, want %d (one chat call each)", len(iters), res.Calls)
+	}
+	childCount := map[string]int{}
+	for _, d := range tracer.Spans() {
+		switch d.Name {
+		case "select", "prompt", "parse", "filter":
+			childCount[d.Name]++
+		}
+	}
+	var promptTok, completionTok int64
+	for _, it := range iters {
+		if it.Parent != run.Span {
+			t.Fatalf("iteration span %s not parented to run span %s", it.Span, run.Span)
+		}
+		p, _ := it.Int("prompt_tokens")
+		c, _ := it.Int("completion_tokens")
+		promptTok += p
+		completionTok += c
+	}
+	if promptTok != int64(res.PromptTokens) || completionTok != int64(res.CompletionTokens) {
+		t.Errorf("iteration token attrs sum to %d/%d, want %d/%d",
+			promptTok, completionTok, res.PromptTokens, res.CompletionTokens)
+	}
+	// every iteration runs select, prompt and parse; filter only follows
+	// a successful parse
+	for _, stage := range []string{"select", "prompt", "parse"} {
+		if childCount[stage] != len(iters) {
+			t.Errorf("%s spans = %d, want %d", stage, childCount[stage], len(iters))
+		}
+	}
+	if childCount["filter"] == 0 || childCount["filter"] > len(iters) {
+		t.Errorf("filter spans = %d, want 1..%d", childCount["filter"], len(iters))
+	}
+	if got := len(tracer.Named("aggregate")); got != 1 {
+		t.Errorf("aggregate spans = %d, want 1", got)
+	}
+}
