@@ -4,9 +4,9 @@
 
 GO ?= go
 
-.PHONY: ci vet build test race bench bench-grid bench-json clean
+.PHONY: ci vet build test race chaos bench bench-grid bench-json clean
 
-ci: vet build test race
+ci: vet build test race chaos
 
 vet:
 	$(GO) vet ./...
@@ -19,6 +19,11 @@ test:
 
 race:
 	$(GO) test -race ./...
+
+# fault-injection grid under the race detector: a checkpointed chaos
+# sweep is interrupted, resumed, and must render byte-identically
+chaos:
+	$(GO) test -race -run 'Chaos|LoadCheckpoint' -count=1 ./internal/experiment/
 
 # full benchmark suite at reduced scale (one pass per table/figure)
 bench:

@@ -38,6 +38,9 @@ func main() {
 	datasets := flag.String("datasets", "", "comma-separated dataset subset (default: all)")
 	workers := flag.Int("workers", 0, "concurrent grid cells (0 = GOMAXPROCS, 1 = serial; results identical)")
 	keepGoing := flag.Bool("keep-going", false, "record per-cell failures in the grid instead of aborting the sweep")
+	checkpoint := flag.String("checkpoint", "", "append each completed grid cell to this JSONL file (resumable with -resume)")
+	resume := flag.String("resume", "", "skip grid cells already recorded in this checkpoint file (may equal -checkpoint)")
+	maxFailedIters := flag.Int("max-failed-iterations", 0, "per-run iteration failure budget (0 = strict, -1 = unlimited)")
 	quiet := flag.Bool("quiet", false, "suppress progress logging")
 	compare := flag.Bool("compare", true, "print paper-vs-reproduction averages")
 	markdown := flag.String("markdown", "", "also write a markdown report (EXPERIMENTS.md format) to this path; implies -all")
@@ -48,12 +51,15 @@ func main() {
 	flag.Parse()
 
 	opts := experiment.Options{
-		Seeds:      *seeds,
-		Scale:      *scale,
-		Iterations: *iterations,
-		Model:      *model,
-		Workers:    *workers,
-		KeepGoing:  *keepGoing,
+		Seeds:               *seeds,
+		Scale:               *scale,
+		Iterations:          *iterations,
+		Model:               *model,
+		Workers:             *workers,
+		KeepGoing:           *keepGoing,
+		Checkpoint:          *checkpoint,
+		ResumeFrom:          *resume,
+		MaxFailedIterations: *maxFailedIters,
 	}
 	if !*quiet {
 		opts.Log = os.Stderr

@@ -21,6 +21,7 @@ import (
 
 	"datasculpt/internal/core"
 	"datasculpt/internal/dataset"
+	"datasculpt/internal/experiment"
 	"datasculpt/internal/lf"
 	"datasculpt/internal/llm"
 	"datasculpt/internal/metrics"
@@ -42,6 +43,9 @@ func main() {
 	analyze := flag.Bool("analyze", false, "print the Snorkel-style LF analysis table (coverage/overlap/conflict)")
 	saveLFs := flag.String("save-lfs", "", "write the final LF set as JSON to this path")
 	revise := flag.Bool("revise", false, "enable the counterexample-revision pass after the main loop")
+	checkpoint := flag.String("checkpoint", "", "append each completed seed to this JSONL file (resumable with -resume)")
+	resume := flag.String("resume", "", "skip seeds already recorded in this checkpoint file (may equal -checkpoint; assumes the same flags)")
+	maxFailedIters := flag.Int("max-failed-iterations", 0, "iteration failure budget (0 = strict, -1 = unlimited)")
 	logLevel := flag.String("log-level", "warn", "log verbosity: debug, info, warn, error")
 	traceOut := flag.String("trace-out", "", "stream one JSON span per line (run > iteration > stage) to this file")
 	metricsOut := flag.String("metrics-out", "", "write final metrics here on exit (Prometheus text; JSON if the path ends in .json)")
@@ -66,6 +70,7 @@ func main() {
 		labelModel: *labelModel, iterations: *iterations, seeds: *seeds,
 		scale: *scale, noAccuracy: *noAccuracy, noRedundancy: *noRedundancy,
 		showLFs: *showLFs, analyze: *analyze, saveLFs: *saveLFs, revise: *revise,
+		checkpoint: *checkpoint, resume: *resume, maxFailedIters: *maxFailedIters,
 		obs: o,
 	})
 	// The cleanup writes -metrics-out and flushes the trace sink, so it
@@ -87,8 +92,14 @@ type runOptions struct {
 	noAccuracy, noRedundancy                     bool
 	showLFs, analyze, revise                     bool
 	saveLFs                                      string
+	checkpoint, resume                           string
+	maxFailedIters                               int
 	obs                                          *obs.Obs
 }
+
+// cliGridTitle namespaces datasculpt's per-seed checkpoint records so
+// they cannot collide with benchtab sweeps sharing a file.
+const cliGridTitle = "datasculpt"
 
 func run(ctx context.Context, o runOptions) error {
 	dsName, variant, model, smp, labelModel := o.dataset, o.variant, o.model, o.sampler, o.labelModel
@@ -97,10 +108,52 @@ func run(ctx context.Context, o runOptions) error {
 	if o.obs == nil {
 		o.obs = obs.Default()
 	}
+	// Seeds recorded in a -resume checkpoint are restored instead of
+	// re-run; completed seeds are appended to -checkpoint as they finish.
+	var restored map[int]*experiment.CellResult
+	if o.resume != "" {
+		records, err := experiment.LoadCheckpoint(o.resume)
+		if err != nil {
+			return err
+		}
+		restored = make(map[int]*experiment.CellResult)
+		for i := range records {
+			rec := &records[i]
+			if rec.Grid == cliGridTitle && rec.Method == variant && rec.Dataset == dsName {
+				restored[rec.Seed] = rec.Result
+			}
+		}
+	}
+	var ckpt *experiment.CheckpointWriter
+	if o.checkpoint != "" {
+		w, err := experiment.OpenCheckpoint(o.checkpoint)
+		if err != nil {
+			return err
+		}
+		defer w.Close()
+		ckpt = w
+	}
+
 	var results []*core.Result
 	var last *dataset.Dataset
+	// finalComputed is the last result actually run this invocation;
+	// restored seeds carry statistics only (LF sets are not
+	// checkpointed), so -lfs/-analyze/-save-lfs report from it.
+	var finalComputed *core.Result
 	var cacheStats llm.CacheStats
 	for s := 1; s <= seeds; s++ {
+		if cr, ok := restored[s]; ok {
+			res := cr.CoreResult(variant, dsName)
+			results = append(results, res)
+			fmt.Printf("seed %d (restored): %s\n", s, res)
+			if ckpt != nil && o.checkpoint != o.resume {
+				rec := experiment.CellRecord{Grid: cliGridTitle, Method: variant, Dataset: dsName, Seed: s, Result: cr}
+				if err := ckpt.Append(rec); err != nil {
+					return err
+				}
+			}
+			continue
+		}
 		d, err := dataset.Load(dsName, int64(7000+13*s), scale)
 		if err != nil {
 			return err
@@ -116,8 +169,9 @@ func run(ctx context.Context, o runOptions) error {
 				UseAccuracy:   !noAccuracy,
 				UseRedundancy: !noRedundancy,
 			},
-			ReviseRejected: o.revise,
-			Seed:           int64(100*s + 1),
+			ReviseRejected:      o.revise,
+			MaxFailedIterations: o.maxFailedIters,
+			Seed:                int64(100*s + 1),
 		}
 		// Same endpoint the pipeline would build itself, with a response
 		// cache in front so the end-of-run summary can report hit rates
@@ -134,7 +188,14 @@ func run(ctx context.Context, o runOptions) error {
 		}
 		cacheStats.Add(cache.Stats())
 		results = append(results, res)
+		finalComputed = res
 		fmt.Printf("seed %d: %s\n", s, res)
+		if ckpt != nil {
+			rec := experiment.CellRecord{Grid: cliGridTitle, Method: variant, Dataset: dsName, Seed: s, Result: experiment.NewCellResult(res)}
+			if err := ckpt.Append(rec); err != nil {
+				return err
+			}
+		}
 	}
 
 	fmt.Printf("\n%s / datasculpt-%s / %s / %s sampling, %d iterations, %d seed(s)\n",
@@ -170,7 +231,14 @@ func run(ctx context.Context, o runOptions) error {
 	fmt.Printf("  cache:       %s; total cost $%.4f across %d seed(s)\n",
 		cacheStats, totalCost, seeds)
 
-	final := results[len(results)-1]
+	final := finalComputed
+	if (o.saveLFs != "" || o.analyze || showLFs) && final == nil {
+		fmt.Println("\nnote: every seed was restored from the checkpoint; LF sets are not" +
+			" checkpointed, so -save-lfs, -analyze and -lfs have nothing to report")
+	}
+	if final == nil {
+		return nil
+	}
 	if o.saveLFs != "" {
 		data, err := lf.MarshalLFs(final.LFs)
 		if err != nil {
@@ -194,9 +262,9 @@ func run(ctx context.Context, o runOptions) error {
 		fmt.Print(lf.FormatSummaries(sums))
 	}
 
-	if showLFs && len(results) > 0 {
-		fmt.Println("\nGenerated label functions (last seed):")
-		r := results[len(results)-1]
+	if showLFs {
+		fmt.Println("\nGenerated label functions (last computed seed):")
+		r := final
 		ix := lf.NewIndex(last.Train)
 		vm := lf.BuildVoteMatrix(ix, r.LFs)
 		gold := dataset.Labels(last.Train)

@@ -26,6 +26,7 @@ import (
 	"context"
 	"io"
 	"log/slog"
+	"time"
 
 	"datasculpt/internal/baselines"
 	"datasculpt/internal/core"
@@ -222,6 +223,8 @@ var (
 	// WithRateLimit installs a client-side QPS bound so concurrent runs
 	// cannot stampede a provider.
 	WithRateLimit = llm.WithRateLimit
+	// WithMaxRetryDelay caps the client's exponential backoff.
+	WithMaxRetryDelay = llm.WithMaxRetryDelay
 )
 
 // NewOpenAIClient builds an OpenAI-compatible client.
@@ -269,6 +272,40 @@ func NewRateLimiter(inner ChatModel, qps float64, burst int) *llm.RateLimiter {
 // Metered.Meter().
 func NewMetered(inner ChatModel) *llm.Metered { return llm.NewMetered(inner) }
 
+// NewRetry wraps a ChatModel with capped, jittered exponential backoff
+// on retryable failures (ErrRateLimited, ErrUnavailable), honoring
+// provider Retry-After hints and failing fast on everything else. Tune
+// it with WithRetryAttempts, WithRetryBackoff and WithRetryJitter.
+func NewRetry(inner ChatModel, opts ...llm.RetryOption) *llm.Retry {
+	return llm.NewRetry(inner, opts...)
+}
+
+// Retry middleware options, re-exported for NewRetry callers.
+var (
+	// WithRetryAttempts sets the total attempt budget per call (>= 1).
+	WithRetryAttempts = llm.WithRetryAttempts
+	// WithRetryBackoff sets the base and maximum backoff delays.
+	WithRetryBackoff = llm.WithRetryBackoff
+	// WithRetryJitter sets the uniform jitter fraction in [0, 0.99].
+	WithRetryJitter = llm.WithRetryJitter
+)
+
+// Retryable reports whether an error is transient (wraps ErrRateLimited
+// or ErrUnavailable) and therefore worth retrying.
+func Retryable(err error) bool { return llm.Retryable(err) }
+
+// RetryAfter extracts a provider-supplied retry delay hint (an
+// llm.RetryAfterError anywhere in the chain), if present.
+func RetryAfter(err error) (time.Duration, bool) { return llm.RetryAfter(err) }
+
+// NewFaultInjector wraps a ChatModel with deterministic, seed-driven
+// fault injection (rate limits, timeouts, truncated responses, garbage
+// completions) for chaos-testing retry and degradation paths; rates
+// are per-call probabilities and must sum to at most 1.
+func NewFaultInjector(inner ChatModel, rates FaultRates, seed int64) *llm.FaultInjector {
+	return llm.NewFaultInjector(inner, rates, seed)
+}
+
 // Middleware and accounting types, re-exported so callers can hold them
 // without importing internal packages.
 type (
@@ -287,6 +324,15 @@ type (
 	// CacheStats is a consistent point-in-time copy of a Cache's
 	// hit/miss/entry counters, read with Cache.Stats.
 	CacheStats = llm.CacheStats
+	// Retry is the backoff-retry middleware.
+	Retry = llm.Retry
+	// RetryAfterError carries a provider retry-delay hint; test with
+	// errors.As or the RetryAfter helper.
+	RetryAfterError = llm.RetryAfterError
+	// FaultInjector is the chaos-testing middleware.
+	FaultInjector = llm.FaultInjector
+	// FaultRates sets per-call fault probabilities for NewFaultInjector.
+	FaultRates = llm.FaultRates
 )
 
 // Telemetry re-exports. An Obs bundle — tracer, metrics registry and

@@ -34,6 +34,10 @@ func Variants() []Variant {
 	return []Variant{VariantBase, VariantCoT, VariantSC, VariantKATE}
 }
 
+// UnlimitedFailures disables the iteration failure budget: the run
+// records failed iterations but never aborts because of them.
+const UnlimitedFailures = -1
+
 // Config fully parameterizes one pipeline run. Zero values select the
 // paper's defaults via Normalize.
 type Config struct {
@@ -45,6 +49,12 @@ type Config struct {
 	// how many concurrent runs share one model — implementations must be
 	// concurrency-safe (every llm middleware and the Simulated are).
 	ChatModel llm.ChatModel
+	// WrapModel, when non-nil, wraps the run's endpoint (the injected
+	// ChatModel or the internally constructed Simulated) before any call
+	// is made — the middleware injection point for per-run stacks such
+	// as llm.NewRetry or a chaos-testing llm.NewFaultInjector, composing
+	// with endpoints the run builds itself.
+	WrapModel func(llm.ChatModel) llm.ChatModel
 	// Variant selects prompting strategy (default VariantBase).
 	Variant Variant
 	// Iterations is the number of query instances (paper: 50).
@@ -75,6 +85,15 @@ type Config struct {
 	// InterimTrainCap bounds the examples used to train interim models
 	// (default 4000); uncertainty estimates do not need the full corpus.
 	InterimTrainCap int
+	// MaxFailedIterations is the graceful-degradation failure budget for
+	// the query loop. 0 (the default, paper mode) is strict: the first
+	// iteration whose LLM call still fails after any retry middleware
+	// aborts the run, exactly as before. n > 0 tolerates up to n failed
+	// iterations — each is recorded in Result.FailedIterations and the
+	// loop moves on to the next query — aborting only when the budget is
+	// exceeded. UnlimitedFailures (-1) never aborts on iteration
+	// failures. Context cancellation always aborts regardless.
+	MaxFailedIterations int
 	// ReviseRejected enables the counterexample-re-prompting revision
 	// pass after the main loop (the paper's stated future work; see
 	// revise.go). MaxRevisions bounds the extra prompts (default 10).
@@ -142,6 +161,9 @@ func (c *Config) Normalize() error {
 	}
 	if c.MaxRevisions <= 0 {
 		c.MaxRevisions = 10
+	}
+	if c.MaxFailedIterations < UnlimitedFailures {
+		c.MaxFailedIterations = UnlimitedFailures
 	}
 	if c.EndModel.Seed == 0 {
 		c.EndModel.Seed = c.Seed + 1

@@ -24,11 +24,12 @@ import (
 // handles are resolved once per run; with a nil registry every handle
 // is nil and every update is a free no-op.
 type pipelineMetrics struct {
-	runs          *obs.Counter
-	iterations    *obs.Counter
-	parseFailures *obs.Counter
-	lfsKept       *obs.Counter
-	lfsPerIter    *obs.Histogram
+	runs              *obs.Counter
+	iterations        *obs.Counter
+	parseFailures     *obs.Counter
+	iterationFailures *obs.Counter
+	lfsKept           *obs.Counter
+	lfsPerIter        *obs.Histogram
 }
 
 func newPipelineMetrics(reg *obs.Registry) pipelineMetrics {
@@ -36,8 +37,10 @@ func newPipelineMetrics(reg *obs.Registry) pipelineMetrics {
 		runs:          reg.Counter("pipeline_runs_total", "pipeline runs started"),
 		iterations:    reg.Counter("pipeline_iterations_total", "query iterations executed"),
 		parseFailures: reg.Counter("pipeline_parse_failures_total", "LLM responses the parser rejected entirely"),
-		lfsKept:       reg.Counter("pipeline_lfs_kept_total", "candidate LFs that survived the filter chain"),
-		lfsPerIter:    reg.Histogram("pipeline_lfs_kept_per_iteration", "LFs kept per query iteration", obs.SmallCountBuckets),
+		iterationFailures: reg.Counter("pipeline_iteration_failures_total",
+			"iterations abandoned because the LLM call failed after retries"),
+		lfsKept:    reg.Counter("pipeline_lfs_kept_total", "candidate LFs that survived the filter chain"),
+		lfsPerIter: reg.Histogram("pipeline_lfs_kept_per_iteration", "LFs kept per query iteration", obs.SmallCountBuckets),
 	}
 }
 
@@ -102,6 +105,9 @@ func RunContext(ctx context.Context, d *dataset.Dataset, cfg Config) (res *Resul
 		}
 		model = sim
 	}
+	if cfg.WrapModel != nil {
+		model = cfg.WrapModel(model)
+	}
 	if o.Metrics != nil {
 		// Live llm_* accounting for this run. The wrapper sits above any
 		// injected cache middleware, so the registry's token and cost
@@ -151,6 +157,7 @@ func RunContext(ctx context.Context, d *dataset.Dataset, cfg Config) (res *Resul
 		state.TrainVecs = ev.trainVectors()
 	}
 	parseFailures := 0
+	failedIterations := 0
 	logDebug := o.Logger.Enabled(ctx, slog.LevelDebug)
 
 	for it := 0; it < cfg.Iterations; it++ {
@@ -182,7 +189,22 @@ func RunContext(ctx context.Context, d *dataset.Dataset, cfg Config) (res *Resul
 			promptSpan.End()
 			itSpan.SetErr(err)
 			itSpan.End()
-			return nil, fmt.Errorf("core: iteration %d: %w", it, err)
+			if ctx.Err() != nil {
+				// a canceled run is an abort, never a degraded iteration
+				return nil, fmt.Errorf("core: iteration %d: %w", it, err)
+			}
+			failedIterations++
+			pm.iterationFailures.Inc()
+			budget := cfg.MaxFailedIterations
+			if budget == 0 || (budget > 0 && failedIterations > budget) {
+				return nil, fmt.Errorf("core: iteration %d: %w (%d failed iterations, budget %d)",
+					it, err, failedIterations, budget)
+			}
+			o.Logger.LogAttrs(ctx, slog.LevelWarn, "iteration failed",
+				slog.Int("iteration", it), slog.Int("query_id", id),
+				slog.Int("failed_iterations", failedIterations),
+				slog.String("error", err.Error()))
+			continue
 		}
 		meter.Record(responses)
 		var promptTok, completionTok int
@@ -285,6 +307,7 @@ func RunContext(ctx context.Context, d *dataset.Dataset, cfg Config) (res *Resul
 	res.Dataset = d.Name
 	res.Method = fmt.Sprintf("datasculpt-%s", cfg.Variant)
 	res.ParseFailures = parseFailures
+	res.FailedIterations = failedIterations
 	res.Rejections = chain.Rejections()
 	usage := meter.Snapshot()
 	res.Calls = usage.Calls
@@ -298,7 +321,8 @@ func RunContext(ctx context.Context, d *dataset.Dataset, cfg Config) (res *Resul
 		slog.Int("lfs", res.NumLFs), slog.String("metric", res.MetricName),
 		slog.Float64("value", res.EndMetric), slog.Int("calls", res.Calls),
 		slog.Int("tokens", res.TotalTokens()), slog.Float64("cost_usd", res.CostUSD),
-		slog.Int("parse_failures", res.ParseFailures))
+		slog.Int("parse_failures", res.ParseFailures),
+		slog.Int("failed_iterations", res.FailedIterations))
 	return res, nil
 }
 

@@ -3,12 +3,14 @@ package core
 import (
 	"context"
 	"errors"
-
-	"datasculpt/internal/llm"
+	"fmt"
+	"strings"
 	"testing"
+	"time"
 
 	"datasculpt/internal/dataset"
 	"datasculpt/internal/lf"
+	"datasculpt/internal/llm"
 )
 
 // smallRun executes a scaled-down pipeline for tests.
@@ -322,6 +324,102 @@ func TestRunContextCanceled(t *testing.T) {
 	cancel()
 	if _, err := RunContext(ctx, d, DefaultConfig(VariantBase)); !errors.Is(err, context.Canceled) {
 		t.Errorf("canceled run returned %v, want context.Canceled", err)
+	}
+}
+
+// failEveryNth is a ChatModel middleware failing every n-th Chat call
+// with a transient error (1-based: n=4 fails calls 4, 8, 12, ...).
+type failEveryNth struct {
+	inner llm.ChatModel
+	n     int
+	calls int
+}
+
+func (f *failEveryNth) ModelName() string           { return f.inner.ModelName() }
+func (f *failEveryNth) Pricing() (float64, float64) { return f.inner.Pricing() }
+func (f *failEveryNth) Chat(ctx context.Context, messages []llm.Message, temperature float64, n int) ([]llm.Response, error) {
+	f.calls++
+	if f.calls%f.n == 0 {
+		return nil, fmt.Errorf("%w: synthetic outage", llm.ErrUnavailable)
+	}
+	return f.inner.Chat(ctx, messages, temperature, n)
+}
+
+func TestRunStrictModeAbortsOnLLMFailure(t *testing.T) {
+	d, err := dataset.Load("youtube", 11, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig(VariantBase)
+	cfg.Iterations = 10
+	cfg.Seed = 11
+	cfg.FeatureDim = 1024
+	cfg.WrapModel = func(m llm.ChatModel) llm.ChatModel { return &failEveryNth{inner: m, n: 3} }
+	if _, err := Run(d, cfg); !errors.Is(err, llm.ErrUnavailable) {
+		t.Errorf("strict mode returned %v, want ErrUnavailable", err)
+	}
+}
+
+func TestRunFailureBudgetDegradesGracefully(t *testing.T) {
+	res := smallRun(t, "youtube", func(c *Config) {
+		c.MaxFailedIterations = UnlimitedFailures
+		c.WrapModel = func(m llm.ChatModel) llm.ChatModel { return &failEveryNth{inner: m, n: 4} }
+	})
+	// 20 iterations, every 4th LLM call fails: 5 abandoned iterations
+	if res.FailedIterations != 5 {
+		t.Errorf("FailedIterations = %d, want 5", res.FailedIterations)
+	}
+	// the surviving 15 iterations still produced a usable run
+	if res.NumLFs == 0 || res.Calls != 15 {
+		t.Errorf("degraded run: %d LFs, %d successful calls (want >0, 15)", res.NumLFs, res.Calls)
+	}
+	// a finite budget above the failure count behaves identically
+	budgeted := smallRun(t, "youtube", func(c *Config) {
+		c.MaxFailedIterations = 5
+		c.WrapModel = func(m llm.ChatModel) llm.ChatModel { return &failEveryNth{inner: m, n: 4} }
+	})
+	if budgeted.NumLFs != res.NumLFs || budgeted.EndMetric != res.EndMetric {
+		t.Errorf("budget-5 run diverged from unlimited: %v vs %v", budgeted, res)
+	}
+}
+
+func TestRunFailureBudgetExceededAborts(t *testing.T) {
+	d, err := dataset.Load("youtube", 11, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig(VariantBase)
+	cfg.Iterations = 20
+	cfg.Seed = 11
+	cfg.FeatureDim = 1024
+	cfg.MaxFailedIterations = 2
+	cfg.WrapModel = func(m llm.ChatModel) llm.ChatModel { return &failEveryNth{inner: m, n: 2} }
+	_, err = Run(d, cfg)
+	if !errors.Is(err, llm.ErrUnavailable) {
+		t.Fatalf("exceeded budget returned %v, want ErrUnavailable", err)
+	}
+	if !strings.Contains(err.Error(), "budget") {
+		t.Errorf("error does not mention the budget: %v", err)
+	}
+}
+
+func TestRunWrapModelWithRetryMatchesBaseline(t *testing.T) {
+	// A Retry-wrapped flaky endpoint must converge to the same result as
+	// the unwrapped run: transient failures are retried, not absorbed
+	// into the output.
+	baseline := smallRun(t, "youtube", nil)
+	wrapped := smallRun(t, "youtube", func(c *Config) {
+		c.WrapModel = func(m llm.ChatModel) llm.ChatModel {
+			flaky := &failEveryNth{inner: m, n: 5}
+			return llm.NewRetry(flaky, llm.WithRetryAttempts(4), llm.WithRetryJitter(0),
+				llm.WithRetryBackoff(time.Microsecond, time.Millisecond))
+		}
+	})
+	if wrapped.NumLFs != baseline.NumLFs || wrapped.EndMetric != baseline.EndMetric {
+		t.Errorf("retry-wrapped run diverged: %v vs %v", wrapped, baseline)
+	}
+	if wrapped.FailedIterations != 0 {
+		t.Errorf("FailedIterations = %d, want 0 (retries absorb the faults)", wrapped.FailedIterations)
 	}
 }
 

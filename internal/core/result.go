@@ -38,6 +38,11 @@ type Result struct {
 
 	// ParseFailures counts LLM responses the parser rejected entirely.
 	ParseFailures int
+	// FailedIterations counts query iterations abandoned because the LLM
+	// call failed even after retries (graceful degradation under
+	// Config.MaxFailedIterations; 0 in strict paper mode, which aborts
+	// instead).
+	FailedIterations int
 	// Rejections counts filtered candidates by reason.
 	Rejections map[lf.RejectReason]int
 

@@ -1,0 +1,75 @@
+package experiment
+
+import (
+	"hash/fnv"
+	"time"
+
+	"datasculpt/internal/llm"
+	"datasculpt/internal/obs"
+)
+
+// ChaosConfig turns a sweep into a fault-injection exercise: every
+// cell's LLM endpoint is wrapped in an llm.FaultInjector (injecting
+// rate limits, timeouts, truncations and garbage completions at the
+// configured rates) under an llm.Retry middleware that absorbs the
+// retryable ones. Each cell derives its injector seed from Seed and
+// its own (method, dataset, seed) coordinates, so the fault schedule —
+// and therefore the grid — is deterministic at any worker count.
+//
+// Rate-limit and timeout faults fire before the inner model is
+// consulted, so a retried call sees exactly the response stream a
+// fault-free run would: chaos grids stay byte-identical to clean ones
+// whenever every fault is absorbed within the retry budget.
+type ChaosConfig struct {
+	// Rates sets the per-call fault probabilities (sum must be <= 1).
+	Rates llm.FaultRates
+	// Seed drives every cell's fault schedule (default 1).
+	Seed int64
+	// Attempts is the retry budget per call (default 6).
+	Attempts int
+	// BaseDelay/MaxDelay bound the retry backoff (defaults 1ms/20ms —
+	// chaos runs exist to exercise the retry path, not to wait on it).
+	BaseDelay, MaxDelay time.Duration
+}
+
+func (c *ChaosConfig) normalized() ChaosConfig {
+	cc := *c
+	if cc.Seed == 0 {
+		cc.Seed = 1
+	}
+	if cc.Attempts <= 0 {
+		cc.Attempts = 6
+	}
+	if cc.BaseDelay <= 0 {
+		cc.BaseDelay = time.Millisecond
+	}
+	if cc.MaxDelay <= 0 {
+		cc.MaxDelay = 20 * time.Millisecond
+	}
+	return cc
+}
+
+// cellSeed mixes the sweep-level chaos seed with the cell coordinates.
+func (c ChaosConfig) cellSeed(method, ds string, seed int) int64 {
+	h := fnv.New64a()
+	h.Write([]byte(method))
+	h.Write([]byte{'|'})
+	h.Write([]byte(ds))
+	h.Write([]byte{'|', byte(seed), byte(seed >> 8)})
+	return c.Seed ^ int64(h.Sum64())
+}
+
+// wrap returns the per-cell middleware closure installed as
+// core.Config.WrapModel: Retry(FaultInjector(endpoint)), both
+// instrumented against the sweep's registry.
+func (c ChaosConfig) wrap(method, ds string, seed int, reg *obs.Registry) func(llm.ChatModel) llm.ChatModel {
+	return func(inner llm.ChatModel) llm.ChatModel {
+		fi := llm.NewFaultInjector(inner, c.Rates, c.cellSeed(method, ds, seed))
+		fi.Instrument(reg)
+		r := llm.NewRetry(fi,
+			llm.WithRetryAttempts(c.Attempts),
+			llm.WithRetryBackoff(c.BaseDelay, c.MaxDelay))
+		r.Instrument(reg)
+		return r
+	}
+}

@@ -1,0 +1,186 @@
+package experiment
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"sync"
+
+	"datasculpt/internal/core"
+)
+
+// Grid checkpointing: every completed (method, dataset, seed) cell is
+// appended to a JSONL file as one self-contained record, and a later
+// sweep over the same grid can skip the cells already on disk
+// (Options.ResumeFrom). Records are written with a single Write call per
+// line, so a crash or Ctrl-C can at worst tear the final line — which
+// the loader tolerates and the resumed sweep simply recomputes.
+//
+// Only successful cells are checkpointed. A cell that failed (recorded
+// under Options.KeepGoing) is re-run on resume: transient failures are
+// exactly what a restart should retry.
+
+// CellResult is the serializable subset of core.Result a checkpoint
+// keeps — every field grid aggregation and rendering consume. The LF
+// set itself is deliberately dropped: grids report statistics, and
+// keeping checkpoints small keeps appends cheap.
+type CellResult struct {
+	NumLFs           int     `json:"num_lfs"`
+	LFAccuracy       float64 `json:"lf_accuracy"`
+	LFAccuracyKnown  bool    `json:"lf_accuracy_known"`
+	LFCoverage       float64 `json:"lf_coverage"`
+	TotalCoverage    float64 `json:"total_coverage"`
+	EndMetric        float64 `json:"end_metric"`
+	MetricName       string  `json:"metric_name"`
+	PromptTokens     int     `json:"prompt_tokens"`
+	CompletionTokens int     `json:"completion_tokens"`
+	Calls            int     `json:"calls"`
+	CostUSD          float64 `json:"cost_usd"`
+	ParseFailures    int     `json:"parse_failures,omitempty"`
+	FailedIterations int     `json:"failed_iterations,omitempty"`
+}
+
+// NewCellResult extracts the checkpointable subset of a run result
+// (exported so the datasculpt CLI can checkpoint its per-seed runs).
+func NewCellResult(r *core.Result) *CellResult {
+	return &CellResult{
+		NumLFs:           r.NumLFs,
+		LFAccuracy:       r.LFAccuracy,
+		LFAccuracyKnown:  r.LFAccuracyKnown,
+		LFCoverage:       r.LFCoverage,
+		TotalCoverage:    r.TotalCoverage,
+		EndMetric:        r.EndMetric,
+		MetricName:       r.MetricName,
+		PromptTokens:     r.PromptTokens,
+		CompletionTokens: r.CompletionTokens,
+		Calls:            r.Calls,
+		CostUSD:          r.CostUSD,
+		ParseFailures:    r.ParseFailures,
+		FailedIterations: r.FailedIterations,
+	}
+}
+
+// CoreResult reconstitutes the stored statistics as a core.Result for
+// aggregation (LFs and rejection counts are not restored).
+func (c *CellResult) CoreResult(method, ds string) *core.Result {
+	return &core.Result{
+		Dataset:          ds,
+		Method:           method,
+		NumLFs:           c.NumLFs,
+		LFAccuracy:       c.LFAccuracy,
+		LFAccuracyKnown:  c.LFAccuracyKnown,
+		LFCoverage:       c.LFCoverage,
+		TotalCoverage:    c.TotalCoverage,
+		EndMetric:        c.EndMetric,
+		MetricName:       c.MetricName,
+		PromptTokens:     c.PromptTokens,
+		CompletionTokens: c.CompletionTokens,
+		Calls:            c.Calls,
+		CostUSD:          c.CostUSD,
+		ParseFailures:    c.ParseFailures,
+		FailedIterations: c.FailedIterations,
+	}
+}
+
+// CellRecord is one completed cell in a checkpoint file. Grid is the
+// sweep title, so one file can hold several sweeps (`benchtab -all`)
+// without cross-contaminating resumes.
+type CellRecord struct {
+	Grid    string      `json:"grid"`
+	Method  string      `json:"method"`
+	Dataset string      `json:"dataset"`
+	Seed    int         `json:"seed"`
+	Result  *CellResult `json:"result"`
+}
+
+// cellKey identifies a cell within one sweep.
+func cellKey(method, ds string, seed int) string {
+	return fmt.Sprintf("%s|%s|%d", method, ds, seed)
+}
+
+// CheckpointWriter appends cell records to a JSONL file. Appends are
+// mutex-serialized and issued as one Write each, then synced, so
+// concurrent workers cannot interleave bytes and a crash cannot lose a
+// completed line.
+type CheckpointWriter struct {
+	mu sync.Mutex
+	f  *os.File
+}
+
+// OpenCheckpoint opens (creating if needed) a checkpoint file for
+// appending.
+func OpenCheckpoint(path string) (*CheckpointWriter, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("experiment: opening checkpoint: %w", err)
+	}
+	return &CheckpointWriter{f: f}, nil
+}
+
+// Append writes one record as a single JSONL line and syncs it to disk.
+func (w *CheckpointWriter) Append(rec CellRecord) error {
+	data, err := json.Marshal(rec)
+	if err != nil {
+		return fmt.Errorf("experiment: encoding checkpoint record: %w", err)
+	}
+	data = append(data, '\n')
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if _, err := w.f.Write(data); err != nil {
+		return fmt.Errorf("experiment: appending checkpoint record: %w", err)
+	}
+	if err := w.f.Sync(); err != nil {
+		return fmt.Errorf("experiment: syncing checkpoint: %w", err)
+	}
+	return nil
+}
+
+// Close closes the underlying file.
+func (w *CheckpointWriter) Close() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.f.Close()
+}
+
+// LoadCheckpoint reads every intact record of a checkpoint file. A
+// missing file is an empty checkpoint (first run of a -resume sweep),
+// and a torn or malformed final line — the footprint of a crash mid-
+// append — is skipped rather than fatal. A malformed line anywhere
+// else is reported: that is corruption, not a crash artifact.
+func LoadCheckpoint(path string) ([]CellRecord, error) {
+	f, err := os.Open(path)
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("experiment: opening checkpoint: %w", err)
+	}
+	defer f.Close()
+
+	var records []CellRecord
+	var badLine int // 1-based line number of the first malformed line
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
+	line := 0
+	for sc.Scan() {
+		line++
+		if len(sc.Bytes()) == 0 {
+			continue
+		}
+		if badLine != 0 {
+			// a malformed line followed by more data is corruption
+			return nil, fmt.Errorf("experiment: checkpoint %s: malformed record at line %d", path, badLine)
+		}
+		var rec CellRecord
+		if err := json.Unmarshal(sc.Bytes(), &rec); err != nil || rec.Result == nil {
+			badLine = line
+			continue
+		}
+		records = append(records, rec)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("experiment: reading checkpoint: %w", err)
+	}
+	return records, nil
+}

@@ -41,6 +41,23 @@ type Options struct {
 	// overnight sweep. Failed cells render as zeros; inspect them with
 	// Grid.Err.
 	KeepGoing bool
+	// Checkpoint, when set, appends every completed cell to this JSONL
+	// file (see checkpoint.go) so an interrupted sweep can be resumed.
+	Checkpoint string
+	// ResumeFrom, when set, loads a checkpoint file and skips cells
+	// already recorded for this sweep's title; their stored results
+	// enter the grid as if just computed. May name the same file as
+	// Checkpoint — new cells are then appended after the restored ones.
+	ResumeFrom string
+	// MaxFailedIterations is passed through to every DataSculpt cell as
+	// the pipeline's iteration failure budget (see
+	// core.Config.MaxFailedIterations; 0 = strict paper mode).
+	MaxFailedIterations int
+	// Chaos, when non-nil, wraps every DataSculpt cell's LLM endpoint
+	// in a deterministic fault injector under retry middleware (see
+	// ChaosConfig). Baseline methods (WRENCH, ScriptoriumWS,
+	// PromptedLF) build their endpoints internally and are unaffected.
+	Chaos *ChaosConfig
 	// Log receives progress lines (nil: silent).
 	Log io.Writer
 	// Obs is the telemetry bundle for the sweep (nil: all telemetry

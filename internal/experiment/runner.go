@@ -42,19 +42,26 @@ var variantOf = map[string]core.Variant{
 	MethodKATE: core.VariantKATE,
 }
 
-// baseConfig builds the shared pipeline configuration for a repetition.
-func baseConfig(o Options, seed int) core.Config {
+// baseConfig builds the shared pipeline configuration for one cell.
+// The method and dataset names only matter under Options.Chaos, which
+// derives each cell's fault schedule from them.
+func baseConfig(o Options, method, ds string, seed int) core.Config {
 	cfg := core.Config{
-		Model:      o.Model,
-		Iterations: o.Iterations,
-		Seed:       int64(100*seed + 1),
+		Model:               o.Model,
+		Iterations:          o.Iterations,
+		Seed:                int64(100*seed + 1),
+		MaxFailedIterations: o.MaxFailedIterations,
+	}
+	if o.Chaos != nil {
+		cc := o.Chaos.normalized()
+		cfg.WrapModel = cc.wrap(method, ds, seed, o.Obs.Metrics)
 	}
 	return cfg
 }
 
 // runMethod executes one (method, dataset, seed) cell.
 func runMethod(ctx context.Context, o Options, method string, d *dataset.Dataset, seed int) (*core.Result, error) {
-	cfg := baseConfig(o, seed)
+	cfg := baseConfig(o, method, d.Name, seed)
 	switch method {
 	case MethodWrench:
 		lfs, err := baselines.Wrench(d)
@@ -154,9 +161,60 @@ func sweep(ctx context.Context, o Options, title string, methods []string, run c
 	cellsTotal := reg.Gauge("grid_cells_total", "cells in the current sweep")
 	cellsDone := reg.Counter("grid_cells_done_total", "cells completed (success or failure)")
 	cellsFailed := reg.Counter("grid_cells_failed_total", "cells that returned an error")
+	cellsResumed := reg.Counter("grid_cells_resumed_total", "cells restored from a checkpoint instead of re-run")
 	cellSeconds := reg.Histogram("grid_cell_seconds", "wall-clock per grid cell, seconds", obs.DurationBuckets)
 	workersBusy := reg.Gauge("grid_workers_busy", "workers currently executing a cell")
 	cellsTotal.Set(float64(len(cells)))
+
+	// restore cells a previous run already checkpointed for this sweep;
+	// restored slots are committed directly and never scheduled. Failed
+	// cells are absent from checkpoints, so a resume re-runs them.
+	resumed := make(map[int]bool)
+	if o.ResumeFrom != "" {
+		records, err := LoadCheckpoint(o.ResumeFrom)
+		if err != nil {
+			return nil, err
+		}
+		byKey := make(map[string]*CellRecord, len(records))
+		for i := range records {
+			if records[i].Grid == title {
+				byKey[cellKey(records[i].Method, records[i].Dataset, records[i].Seed)] = &records[i]
+			}
+		}
+		for i, c := range cells {
+			if rec, ok := byKey[cellKey(c.method, c.ds, c.seed)]; ok {
+				results[i] = rec.Result.CoreResult(c.method, c.ds)
+				resumed[i] = true
+				cellsResumed.Inc()
+			}
+		}
+		if len(resumed) > 0 {
+			o.logf("  resuming: %d of %d cells restored from %s", len(resumed), len(cells), o.ResumeFrom)
+		}
+	}
+
+	var ckpt *CheckpointWriter
+	if o.Checkpoint != "" {
+		w, err := OpenCheckpoint(o.Checkpoint)
+		if err != nil {
+			return nil, err
+		}
+		defer w.Close()
+		ckpt = w
+		// write restored cells through to a fresh checkpoint file so it
+		// is self-contained; appending to the file we resumed from would
+		// duplicate its lines
+		if o.Checkpoint != o.ResumeFrom {
+			for i, c := range cells {
+				if resumed[i] {
+					rec := CellRecord{Grid: title, Method: c.method, Dataset: c.ds, Seed: c.seed, Result: NewCellResult(results[i])}
+					if err := ckpt.Append(rec); err != nil {
+						return nil, err
+					}
+				}
+			}
+		}
+	}
 
 	ctx, cancel := context.WithCancel(obs.NewContext(ctx, o.Obs))
 	defer cancel()
@@ -198,6 +256,15 @@ func sweep(ctx context.Context, o Options, title string, methods []string, run c
 			if !o.KeepGoing {
 				fail(err)
 			}
+		} else if ckpt != nil {
+			rec := CellRecord{Grid: title, Method: c.method, Dataset: c.ds, Seed: c.seed, Result: NewCellResult(results[i])}
+			if aerr := ckpt.Append(rec); aerr != nil {
+				// a checkpoint problem shouldn't void the sweep itself —
+				// the cell is computed; only resumability is degraded
+				o.Obs.Logger.LogAttrs(ctx, slog.LevelWarn, "checkpoint append failed",
+					slog.String("method", c.method), slog.String("dataset", c.ds),
+					slog.Int("seed", c.seed), slog.String("err", aerr.Error()))
+			}
 		}
 		span.End()
 		o.Obs.Logger.LogAttrs(ctx, slog.LevelInfo, "cell done",
@@ -231,6 +298,9 @@ func sweep(ctx context.Context, o Options, title string, methods []string, run c
 		}()
 	}
 	for i := range cells {
+		if resumed[i] {
+			continue
+		}
 		idx <- i
 	}
 	close(idx)
@@ -305,7 +375,7 @@ func LLMAblationContext(ctx context.Context, o Options) (*Grid, error) {
 	o.logf("== LLM ablation (Table 3): %d models", len(LLMNames()))
 	return sweep(ctx, o, "Table 3: ablation study using different LLMs", LLMNames(),
 		func(ctx context.Context, model string, d *dataset.Dataset, seed int) (*core.Result, error) {
-			cfg := baseConfig(o, seed)
+			cfg := baseConfig(o, model, d.Name, seed)
 			cfg.Model = model
 			cfg.Variant = core.VariantSC
 			res, err := core.RunContext(ctx, d, cfg)
@@ -332,7 +402,7 @@ func SamplerAblationContext(ctx context.Context, o Options) (*Grid, error) {
 	o.logf("== sampler ablation (Table 4)")
 	return sweep(ctx, o, "Table 4: ablation study using different samplers", SamplerNames(),
 		func(ctx context.Context, smp string, d *dataset.Dataset, seed int) (*core.Result, error) {
-			cfg := baseConfig(o, seed)
+			cfg := baseConfig(o, smp, d.Name, seed)
 			cfg.Variant = core.VariantSC
 			cfg.Sampler = smp
 			res, err := core.RunContext(ctx, d, cfg)
@@ -363,7 +433,7 @@ func FilterAblationContext(ctx context.Context, o Options) (*Grid, error) {
 	}
 	return sweep(ctx, o, "Table 5: ablation study using different LF filters", FilterNames(),
 		func(ctx context.Context, name string, d *dataset.Dataset, seed int) (*core.Result, error) {
-			cfg := baseConfig(o, seed)
+			cfg := baseConfig(o, name, d.Name, seed)
 			cfg.Variant = core.VariantSC
 			cfg.Filters = configs[name]
 			res, err := core.RunContext(ctx, d, cfg)

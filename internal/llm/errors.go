@@ -1,6 +1,10 @@
 package llm
 
-import "errors"
+import (
+	"errors"
+	"fmt"
+	"time"
+)
 
 // Typed error categories for ChatModel implementations. Callers branch
 // with errors.Is rather than string matching; the concrete error keeps
@@ -18,3 +22,41 @@ var (
 	// error). Retryable.
 	ErrUnavailable = errors.New("llm: provider unavailable")
 )
+
+// Retryable reports whether the error is a transient failure worth
+// retrying: a rate limit or a provider outage. Malformed exchanges
+// (ErrBadResponse) and context cancellations are not retryable — the
+// same request would fail the same way, or the caller already moved on.
+func Retryable(err error) bool {
+	return errors.Is(err, ErrRateLimited) || errors.Is(err, ErrUnavailable)
+}
+
+// RetryAfterError decorates a retryable error with the wait the provider
+// requested (a 429's Retry-After header). Backoff loops that find one in
+// the chain should sleep exactly that long instead of their computed
+// exponential delay — the provider told us when capacity returns.
+type RetryAfterError struct {
+	// After is the provider-requested wait before the next attempt.
+	After time.Duration
+	// Err is the underlying typed error (wraps ErrRateLimited or
+	// ErrUnavailable).
+	Err error
+}
+
+// Error implements error.
+func (e *RetryAfterError) Error() string {
+	return fmt.Sprintf("%v (retry after %s)", e.Err, e.After)
+}
+
+// Unwrap exposes the underlying typed error to errors.Is/As.
+func (e *RetryAfterError) Unwrap() error { return e.Err }
+
+// RetryAfter extracts a provider-requested wait from anywhere in the
+// error chain. The second return is false when no hint is present.
+func RetryAfter(err error) (time.Duration, bool) {
+	var ra *RetryAfterError
+	if errors.As(err, &ra) {
+		return ra.After, true
+	}
+	return 0, false
+}

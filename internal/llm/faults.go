@@ -1,0 +1,167 @@
+package llm
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"datasculpt/internal/obs"
+)
+
+// FaultKind names one injectable failure mode.
+type FaultKind string
+
+// The four injectable faults, mirroring what a real provider does to a
+// long sweep: throttling, transport timeouts, truncated completions and
+// off-format garbage.
+const (
+	// FaultRateLimit returns a RetryAfterError wrapping ErrRateLimited
+	// without touching the inner model (retryable; the retried call sees
+	// the same inner response stream a fault-free run would).
+	FaultRateLimit FaultKind = "rate_limit"
+	// FaultTimeout returns an error wrapping ErrUnavailable without
+	// touching the inner model (retryable).
+	FaultTimeout FaultKind = "timeout"
+	// FaultTruncate performs the inner call, then cuts every completion
+	// roughly in half — the "connection dropped mid-stream" shape the
+	// response parser must reject.
+	FaultTruncate FaultKind = "truncate"
+	// FaultGarbage performs the inner call, then replaces every
+	// completion with off-format refusal prose (billed like the
+	// original; only the text is lost).
+	FaultGarbage FaultKind = "garbage"
+)
+
+// FaultRates sets the per-call probability of each fault kind. The sum
+// must stay ≤ 1; the remainder is the probability of an untouched call.
+type FaultRates struct {
+	RateLimit float64
+	Timeout   float64
+	Truncate  float64
+	Garbage   float64
+}
+
+// Total returns the combined injection probability.
+func (fr FaultRates) Total() float64 {
+	return fr.RateLimit + fr.Timeout + fr.Truncate + fr.Garbage
+}
+
+// FaultInjector is a chaos-testing ChatModel middleware: it injects
+// deterministic, seed-driven faults in front of any inner model
+// (typically the Simulated endpoint). Fault draws are serialized, so a
+// single sequential pipeline run sees one reproducible fault sequence
+// per seed regardless of what other cells do — which is what lets the
+// chaos test demand byte-identical grids.
+//
+// Stack order: NewRetry(NewFaultInjector(inner, rates, seed)) — the
+// retry middleware above absorbs the transient kinds, while truncated
+// and garbage completions flow through to the parser's validity
+// rejection, exercising the whole degradation path.
+type FaultInjector struct {
+	inner ChatModel
+	rates FaultRates
+
+	mu     sync.Mutex
+	rng    *rand.Rand
+	counts map[FaultKind]int
+
+	// telemetry handle; nil (no-op) until Instrument
+	injected *obs.Counter
+}
+
+// NewFaultInjector wraps a model with seed-driven fault injection.
+// Panics if the rates sum past 1 — a misconfigured chaos run should
+// fail loudly, not silently skew.
+func NewFaultInjector(inner ChatModel, rates FaultRates, seed int64) *FaultInjector {
+	if rates.Total() > 1 {
+		panic(fmt.Sprintf("llm: fault rates sum to %v > 1", rates.Total()))
+	}
+	return &FaultInjector{
+		inner:  inner,
+		rates:  rates,
+		rng:    rand.New(rand.NewSource(seed)),
+		counts: make(map[FaultKind]int),
+	}
+}
+
+// Instrument mirrors injections into the registry and returns the
+// receiver for chaining: faults_injected_total counts every injected
+// fault of any kind.
+func (f *FaultInjector) Instrument(reg *obs.Registry) *FaultInjector {
+	f.injected = reg.Counter("faults_injected_total",
+		"chaos faults injected into chat calls")
+	return f
+}
+
+// ModelName implements ChatModel.
+func (f *FaultInjector) ModelName() string { return f.inner.ModelName() }
+
+// Pricing implements ChatModel.
+func (f *FaultInjector) Pricing() (float64, float64) { return f.inner.Pricing() }
+
+// Counts returns a copy of the per-kind injection tally.
+func (f *FaultInjector) Counts() map[FaultKind]int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	out := make(map[FaultKind]int, len(f.counts))
+	for k, v := range f.counts {
+		out[k] = v
+	}
+	return out
+}
+
+// draw picks the fault for one call (empty = none) under the lock.
+func (f *FaultInjector) draw() FaultKind {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	u := f.rng.Float64()
+	var kind FaultKind
+	switch {
+	case u < f.rates.RateLimit:
+		kind = FaultRateLimit
+	case u < f.rates.RateLimit+f.rates.Timeout:
+		kind = FaultTimeout
+	case u < f.rates.RateLimit+f.rates.Timeout+f.rates.Truncate:
+		kind = FaultTruncate
+	case u < f.rates.Total():
+		kind = FaultGarbage
+	default:
+		return ""
+	}
+	f.counts[kind]++
+	return kind
+}
+
+// Chat implements ChatModel with fault injection.
+func (f *FaultInjector) Chat(ctx context.Context, messages []Message, temperature float64, n int) ([]Response, error) {
+	switch kind := f.draw(); kind {
+	case FaultRateLimit:
+		f.injected.Inc()
+		return nil, &RetryAfterError{
+			After: time.Millisecond,
+			Err:   fmt.Errorf("%w: injected fault", ErrRateLimited),
+		}
+	case FaultTimeout:
+		f.injected.Inc()
+		return nil, fmt.Errorf("%w: injected timeout", ErrUnavailable)
+	case FaultTruncate, FaultGarbage:
+		f.injected.Inc()
+		responses, err := f.inner.Chat(ctx, messages, temperature, n)
+		if err != nil {
+			return nil, err
+		}
+		for i := range responses {
+			if kind == FaultTruncate {
+				responses[i].Content = responses[i].Content[:len(responses[i].Content)/2]
+			} else {
+				responses[i].Content = "I'm sorry, I seem to have lost my train of thought. " +
+					"Could you repeat the question?"
+			}
+		}
+		return responses, nil
+	default:
+		return f.inner.Chat(ctx, messages, temperature, n)
+	}
+}

@@ -4,10 +4,10 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
-	"errors"
 	"fmt"
 	"io"
 	"net/http"
+	"strconv"
 	"time"
 )
 
@@ -36,14 +36,25 @@ type OpenAIClient struct {
 	// HTTPClient overrides the default client (30s timeout).
 	HTTPClient *http.Client
 	// MaxRetries bounds retry attempts on rate-limit/5xx responses
-	// (default 3).
+	// (default 3). A zero set through WithMaxRetries(0) disables
+	// retries entirely — exactly one attempt; a zero from a struct
+	// literal still means "use the default".
 	MaxRetries int
 	// RetryDelay is the base backoff delay (default 500ms, doubled per
-	// attempt).
+	// retry up to MaxRetryDelay with jitter; a 429's Retry-After header
+	// overrides the computed delay).
 	RetryDelay time.Duration
+	// MaxRetryDelay caps every backoff delay, computed or
+	// provider-requested (default 15s).
+	MaxRetryDelay time.Duration
 
+	// retriesSet records that WithMaxRetries was called, so an explicit
+	// 0 can be told apart from the unset zero value.
+	retriesSet bool
 	// gate paces outgoing requests when WithRateLimit is set.
 	gate *sendGate
+	// sleep is swapped by tests to observe backoff without waiting.
+	sleep func(ctx context.Context, d time.Duration) error
 }
 
 // Option configures an OpenAIClient at construction.
@@ -58,13 +69,24 @@ func WithPricing(promptPer1M, completionPer1M float64) Option {
 }
 
 // WithMaxRetries bounds retry attempts on retryable failures.
+// WithMaxRetries(0) disables retries: the client performs exactly one
+// attempt.
 func WithMaxRetries(n int) Option {
-	return func(c *OpenAIClient) { c.MaxRetries = n }
+	return func(c *OpenAIClient) {
+		c.MaxRetries = n
+		c.retriesSet = true
+	}
 }
 
-// WithRetryDelay sets the base backoff delay (doubled per attempt).
+// WithRetryDelay sets the base backoff delay (doubled per retry).
 func WithRetryDelay(d time.Duration) Option {
 	return func(c *OpenAIClient) { c.RetryDelay = d }
+}
+
+// WithMaxRetryDelay caps every backoff delay, computed or requested by
+// the provider's Retry-After header.
+func WithMaxRetryDelay(d time.Duration) Option {
+	return func(c *OpenAIClient) { c.MaxRetryDelay = d }
 }
 
 // WithHTTPClient substitutes the transport (proxies, custom TLS,
@@ -170,21 +192,31 @@ func (c *OpenAIClient) Chat(ctx context.Context, messages []Message, temperature
 		client = &http.Client{Timeout: 30 * time.Second}
 	}
 	retries := c.MaxRetries
-	if retries <= 0 {
-		retries = 3
+	if retries < 0 {
+		retries = 0
 	}
-	delay := c.RetryDelay
-	if delay <= 0 {
-		delay = 500 * time.Millisecond
+	if retries == 0 && !c.retriesSet {
+		retries = 3 // unset, not "explicitly none"
+	}
+	pol := backoffPolicy{base: c.RetryDelay, max: c.MaxRetryDelay, jitter: defaultRetryJitter}
+	if pol.base <= 0 {
+		pol.base = 500 * time.Millisecond
+	}
+	if pol.max <= 0 {
+		pol.max = 15 * time.Second
+	}
+	sleep := c.sleep
+	if sleep == nil {
+		sleep = sleepCtx
 	}
 
 	var lastErr error
+	var hint time.Duration
 	for attempt := 0; attempt <= retries; attempt++ {
 		if attempt > 0 {
-			if err := sleepCtx(ctx, delay); err != nil {
+			if err := sleep(ctx, pol.delay(attempt-1, hint, jitterDraw())); err != nil {
 				return nil, fmt.Errorf("llm: backoff aborted: %w", err)
 			}
-			delay *= 2
 		}
 		if c.gate != nil {
 			if _, err := c.gate.wait(ctx); err != nil {
@@ -196,13 +228,32 @@ func (c *OpenAIClient) Chat(ctx context.Context, messages []Message, temperature
 			return resp, nil
 		}
 		lastErr = err
-		if errors.Is(err, ErrBadResponse) || ctx.Err() != nil {
+		if !Retryable(err) || ctx.Err() != nil {
 			// malformed exchanges don't heal with retries, and a dead
 			// context means the caller already moved on
 			return nil, err
 		}
+		hint, _ = RetryAfter(err)
 	}
 	return nil, fmt.Errorf("llm: chat request failed after %d attempts: %w", retries+1, lastErr)
+}
+
+// parseRetryAfter decodes a Retry-After header: delay-seconds or an
+// HTTP date.
+func parseRetryAfter(v string) (time.Duration, bool) {
+	if v == "" {
+		return 0, false
+	}
+	if secs, err := strconv.Atoi(v); err == nil && secs >= 0 {
+		return time.Duration(secs) * time.Second, true
+	}
+	if t, err := http.ParseTime(v); err == nil {
+		if d := time.Until(t); d > 0 {
+			return d, true
+		}
+		return 0, true
+	}
+	return 0, false
 }
 
 // doRequest performs one HTTP round trip.
@@ -229,10 +280,18 @@ func (c *OpenAIClient) doRequest(ctx context.Context, client *http.Client, paylo
 		return nil, fmt.Errorf("%w: reading response: %v", ErrUnavailable, err)
 	}
 	if httpResp.StatusCode == http.StatusTooManyRequests {
-		return nil, fmt.Errorf("%w: status 429: %.200s", ErrRateLimited, raw)
+		err := fmt.Errorf("%w: status 429: %.200s", ErrRateLimited, raw)
+		if after, ok := parseRetryAfter(httpResp.Header.Get("Retry-After")); ok {
+			return nil, &RetryAfterError{After: after, Err: err}
+		}
+		return nil, err
 	}
 	if httpResp.StatusCode >= 500 {
-		return nil, fmt.Errorf("%w: status %d: %.200s", ErrUnavailable, httpResp.StatusCode, raw)
+		err := fmt.Errorf("%w: status %d: %.200s", ErrUnavailable, httpResp.StatusCode, raw)
+		if after, ok := parseRetryAfter(httpResp.Header.Get("Retry-After")); ok {
+			return nil, &RetryAfterError{After: after, Err: err}
+		}
+		return nil, err
 	}
 	var parsed chatResponse
 	if err := json.Unmarshal(raw, &parsed); err != nil {

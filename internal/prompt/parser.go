@@ -17,21 +17,52 @@ type Parsed struct {
 	Explanation string
 }
 
+// fieldValue reports whether line is a "Name: value" field, matching
+// the field name case-insensitively (models emit "keywords:" about as
+// often as "Keywords:"), and returns the trimmed value.
+func fieldValue(line, name string) (string, bool) {
+	if len(line) <= len(name) || line[len(name)] != ':' {
+		return "", false
+	}
+	if !strings.EqualFold(line[:len(name)], name) {
+		return "", false
+	}
+	return strings.TrimSpace(line[len(name)+1:]), true
+}
+
+// parseLabel extracts the leading integer of a Label value, tolerating
+// trailing punctuation and commentary ("1.", "1 (spam)") that real
+// completions append even when the template asks for a bare number.
+func parseLabel(raw string) (int, error) {
+	end := 0
+	for end < len(raw) && raw[end] >= '0' && raw[end] <= '9' {
+		end++
+	}
+	if end == 0 {
+		return 0, fmt.Errorf("prompt: non-integer label %q", raw)
+	}
+	v, err := strconv.Atoi(raw[:end])
+	if err != nil {
+		return 0, fmt.Errorf("prompt: non-integer label %q", raw)
+	}
+	return v, nil
+}
+
 // ParseResponse extracts keywords and label from a completion in the
-// Figure 2 output format. It returns an error for malformed responses
-// (missing Keywords or Label lines, non-integer labels) — those count as
-// validity-filter rejections upstream.
+// Figure 2 output format. Field names match case-insensitively and the
+// label may carry trailing punctuation or commentary ("Label: 1."), but
+// a response missing a Keywords or Label line, or whose label has no
+// leading integer, is an error — those count as validity-filter
+// rejections upstream.
 func ParseResponse(content string) (*Parsed, error) {
 	p := &Parsed{Label: -1}
 	haveKeywords := false
 	for _, line := range strings.Split(content, "\n") {
 		line = strings.TrimSpace(line)
-		switch {
-		case strings.HasPrefix(line, "Explanation:"):
-			p.Explanation = strings.TrimSpace(strings.TrimPrefix(line, "Explanation:"))
-		case strings.HasPrefix(line, "Keywords:"):
+		if raw, ok := fieldValue(line, "Explanation"); ok {
+			p.Explanation = raw
+		} else if raw, ok := fieldValue(line, "Keywords"); ok {
 			haveKeywords = true
-			raw := strings.TrimSpace(strings.TrimPrefix(line, "Keywords:"))
 			if raw == "" || strings.EqualFold(raw, "none") {
 				continue
 			}
@@ -41,11 +72,10 @@ func ParseResponse(content string) (*Parsed, error) {
 					p.Keywords = append(p.Keywords, k)
 				}
 			}
-		case strings.HasPrefix(line, "Label:"):
-			raw := strings.TrimSpace(strings.TrimPrefix(line, "Label:"))
-			v, err := strconv.Atoi(raw)
+		} else if raw, ok := fieldValue(line, "Label"); ok {
+			v, err := parseLabel(raw)
 			if err != nil {
-				return nil, fmt.Errorf("prompt: non-integer label %q", raw)
+				return nil, err
 			}
 			p.Label = v
 		}

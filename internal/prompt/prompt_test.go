@@ -223,12 +223,51 @@ func TestParseResponseNone(t *testing.T) {
 	}
 }
 
+func TestParseResponseLenient(t *testing.T) {
+	cases := []struct {
+		in    string
+		label int
+		kws   []string
+	}{
+		// trailing punctuation after the label
+		{"Keywords: free\nLabel: 1.", 1, []string{"free"}},
+		// trailing commentary after the label
+		{"Keywords: free\nLabel: 1 (spam)", 1, []string{"free"}},
+		// lowercase field names
+		{"keywords: subscribe, free\nlabel: 0", 0, []string{"subscribe", "free"}},
+		// mixed case with explanation
+		{"explanation: looks fine\nKEYWORDS: melody\nLABEL: 0", 0, []string{"melody"}},
+	}
+	for _, c := range cases {
+		p, err := ParseResponse(c.in)
+		if err != nil {
+			t.Errorf("ParseResponse(%q): %v", c.in, err)
+			continue
+		}
+		if p.Label != c.label {
+			t.Errorf("ParseResponse(%q) label = %d, want %d", c.in, p.Label, c.label)
+		}
+		if len(p.Keywords) != len(c.kws) {
+			t.Errorf("ParseResponse(%q) keywords = %v, want %v", c.in, p.Keywords, c.kws)
+			continue
+		}
+		for i, k := range c.kws {
+			if p.Keywords[i] != k {
+				t.Errorf("ParseResponse(%q) keywords[%d] = %q, want %q", c.in, i, p.Keywords[i], k)
+			}
+		}
+	}
+}
+
 func TestParseResponseMalformed(t *testing.T) {
 	cases := []string{
 		"I'm sorry, as an AI language model I cannot answer.",
-		"Keywords: free",              // no label
-		"Label: 1",                    // no keywords
-		"Keywords: free\nLabel: spam", // non-integer label
+		"Keywords: free",                 // no label
+		"Label: 1",                       // no keywords
+		"Keywords: free\nLabel: spam",    // non-integer label
+		"Keywords: free\nLabel: (maybe)", // no leading integer
+		"Keywords: free\nLabelled: 1",    // "Label" prefix of a longer word
+		"Keywordsmith: free\nLabel: 1",   // "Keywords" prefix of a longer word
 		"",
 	}
 	for _, c := range cases {
@@ -280,6 +319,55 @@ func TestSelfConsistencyTieBreaksLowLabel(t *testing.T) {
 	}
 	if p.Label != 0 {
 		t.Errorf("tie broke to %d, want 0", p.Label)
+	}
+}
+
+func TestSelfConsistencySupportBoundary(t *testing.T) {
+	// the support threshold switches exactly at 4 winning votes: with 3,
+	// every keyword of a winning sample survives; with 4, one-off
+	// keywords are dropped
+	three := []string{
+		"Keywords: subscribe, oneoff\nLabel: 1",
+		"Keywords: subscribe\nLabel: 1",
+		"Keywords: subscribe\nLabel: 1",
+	}
+	p, err := SelfConsistency(three)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Keywords) != 2 {
+		t.Errorf("3 winning votes: keywords = %v, want [subscribe oneoff]", p.Keywords)
+	}
+
+	four := append(three, "Keywords: subscribe\nLabel: 1")
+	p, err = SelfConsistency(four)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Keywords) != 1 || p.Keywords[0] != "subscribe" {
+		t.Errorf("4 winning votes: keywords = %v, want [subscribe]", p.Keywords)
+	}
+
+	// unparseable samples don't count toward the threshold: 4 samples of
+	// which only 3 parse keeps the lenient threshold
+	fourOneBroken := append(append([]string{}, three...), "total garbage")
+	p, err = SelfConsistency(fourOneBroken)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Keywords) != 2 {
+		t.Errorf("3 parseable of 4 samples: keywords = %v, want both", p.Keywords)
+	}
+
+	// losing-side votes don't count either: 4 parseable samples but only
+	// 3 for the winner keeps the lenient threshold
+	fourSplit := append(append([]string{}, three...), "Keywords: melody\nLabel: 0")
+	p, err = SelfConsistency(fourSplit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Keywords) != 2 {
+		t.Errorf("3-1 vote split: keywords = %v, want both winning-side keywords", p.Keywords)
 	}
 }
 
