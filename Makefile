@@ -4,9 +4,9 @@
 
 GO ?= go
 
-.PHONY: ci vet build test race chaos bench bench-grid bench-json clean
+.PHONY: ci vet build test race chaos stress bench bench-grid bench-json bench-smoke clean
 
-ci: vet build test race chaos
+ci: vet build test race chaos stress bench-smoke
 
 vet:
 	$(GO) vet ./...
@@ -25,6 +25,14 @@ race:
 chaos:
 	$(GO) test -race -run 'Chaos|LoadCheckpoint' -count=1 ./internal/experiment/
 
+# evaluation-engine determinism under the race detector: incremental
+# vote-matrix appends, parallel EM, and a Parallelism: N vs 1 pipeline
+# run must all be race-free and bit-identical
+stress:
+	$(GO) test -race -count=1 \
+		-run 'Parallel|Incremental|ComputeStats|WarmStart|InterimCache|VoteMatrix|Chunks|For|Normalize' \
+		./internal/par/ ./internal/lf/ ./internal/labelmodel/ ./internal/textproc/ ./internal/core/
+
 # full benchmark suite at reduced scale (one pass per table/figure)
 bench:
 	$(GO) test -bench . -benchtime=1x -run XXX -v .
@@ -34,9 +42,19 @@ bench-grid:
 	$(GO) test -bench=Grid -benchtime=1x -run XXX .
 
 # Grid benchmarks with allocation stats, captured in the standard Go
-# benchmark text format benchstat consumes (`benchstat BENCH_grid.json`)
+# benchmark text format benchstat consumes (`benchstat BENCH_grid.json`).
+# The pipeline engine benchmarks (full-run wall time + allocs for the
+# uncertain/seu samplers on full-scale Agnews, sequential vs parallel)
+# land in BENCH_pipeline.json; its committed copy also carries the
+# pre-PR baseline lines (suffix PrePR) so benchstat can diff eras.
 bench-json:
 	$(GO) test -bench=Grid -benchtime=1x -benchmem -run XXX . | tee BENCH_grid.json
+	$(GO) test -bench=Engine -benchtime=1x -benchmem -run XXX . | tee BENCH_pipeline.json
+
+# one short benchmark iteration as a smoke test: proves the harness and
+# the evaluation engine run end to end (wired into ci)
+bench-smoke:
+	$(GO) test -bench=EvalSmoke -benchtime=1x -run XXX .
 
 clean:
 	$(GO) clean ./...

@@ -1,0 +1,85 @@
+// Engine benchmarks: full 50-iteration pipeline runs with the model-driven
+// samplers on the largest dataset spec (Agnews, 96k train documents).
+// These measure the non-LLM hot path — vote-matrix construction, label
+// model fitting, interim end-model training/prediction — that dominates
+// iteration cost once the simulated/cached LLM answers instantly.
+// `make bench-json` records them in BENCH_pipeline.json.
+//
+// The Seq variants run with Parallelism: 1 (pure sequential engine, the
+// incremental/warm-start wins only); the Par variants add the
+// GOMAXPROCS-bounded worker pools. Results are bit-identical across
+// variants — only the wall clock differs.
+package datasculpt_test
+
+import (
+	"sync"
+	"testing"
+
+	"datasculpt"
+)
+
+var (
+	engineOnce sync.Once
+	engineDS   *datasculpt.Dataset
+	engineErr  error
+)
+
+// engineDataset generates the full-scale Agnews corpus once and shares it
+// across the engine benchmarks (generation is excluded from timing).
+func engineDataset(b *testing.B) *datasculpt.Dataset {
+	b.Helper()
+	engineOnce.Do(func() {
+		engineDS, engineErr = datasculpt.LoadDataset("agnews", 7013, 1.0)
+	})
+	if engineErr != nil {
+		b.Fatal(engineErr)
+	}
+	return engineDS
+}
+
+// engineBench runs one full uncertain/seu pipeline configuration.
+// parallelism 1 = sequential engine; 0 = GOMAXPROCS workers.
+func engineBench(b *testing.B, sampler string, parallelism int) {
+	b.Helper()
+	d := engineDataset(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cfg := datasculpt.DefaultConfig(datasculpt.VariantBase)
+		cfg.Sampler = sampler
+		cfg.Seed = 11
+		cfg.Parallelism = parallelism
+		if _, err := datasculpt.Run(d, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkEngineAgnewsUncertainSeq(b *testing.B) { engineBench(b, "uncertain", 1) }
+
+func BenchmarkEngineAgnewsUncertainPar(b *testing.B) { engineBench(b, "uncertain", 0) }
+
+func BenchmarkEngineAgnewsSEUSeq(b *testing.B) { engineBench(b, "seu", 1) }
+
+func BenchmarkEngineAgnewsSEUPar(b *testing.B) { engineBench(b, "seu", 0) }
+
+// BenchmarkEvalSmoke is the `make bench-smoke` target: one scaled-down
+// uncertain run, just enough to prove the benchmark harness and the
+// evaluation engine still work. CI runs it with -benchtime=1x.
+func BenchmarkEvalSmoke(b *testing.B) {
+	d, err := datasculpt.LoadDataset("youtube", 11, 0.3)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cfg := datasculpt.DefaultConfig(datasculpt.VariantBase)
+		cfg.Sampler = "uncertain"
+		cfg.Iterations = 10
+		cfg.Seed = 11
+		if _, err := datasculpt.Run(d, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -37,6 +37,7 @@ func main() {
 	model := flag.String("model", "gpt-3.5", "default LLM profile")
 	datasets := flag.String("datasets", "", "comma-separated dataset subset (default: all)")
 	workers := flag.Int("workers", 0, "concurrent grid cells (0 = GOMAXPROCS, 1 = serial; results identical)")
+	parallelism := flag.Int("parallelism", 0, "evaluation-engine workers inside each cell (0 = 1, serial per cell; results identical)")
 	keepGoing := flag.Bool("keep-going", false, "record per-cell failures in the grid instead of aborting the sweep")
 	checkpoint := flag.String("checkpoint", "", "append each completed grid cell to this JSONL file (resumable with -resume)")
 	resume := flag.String("resume", "", "skip grid cells already recorded in this checkpoint file (may equal -checkpoint)")
@@ -56,6 +57,7 @@ func main() {
 		Iterations:          *iterations,
 		Model:               *model,
 		Workers:             *workers,
+		Parallelism:         *parallelism,
 		KeepGoing:           *keepGoing,
 		Checkpoint:          *checkpoint,
 		ResumeFrom:          *resume,

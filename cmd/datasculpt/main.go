@@ -46,6 +46,7 @@ func main() {
 	checkpoint := flag.String("checkpoint", "", "append each completed seed to this JSONL file (resumable with -resume)")
 	resume := flag.String("resume", "", "skip seeds already recorded in this checkpoint file (may equal -checkpoint; assumes the same flags)")
 	maxFailedIters := flag.Int("max-failed-iterations", 0, "iteration failure budget (0 = strict, -1 = unlimited)")
+	parallelism := flag.Int("parallelism", 0, "evaluation-engine worker goroutines per run (0 = GOMAXPROCS, 1 = sequential; results identical)")
 	logLevel := flag.String("log-level", "warn", "log verbosity: debug, info, warn, error")
 	traceOut := flag.String("trace-out", "", "stream one JSON span per line (run > iteration > stage) to this file")
 	metricsOut := flag.String("metrics-out", "", "write final metrics here on exit (Prometheus text; JSON if the path ends in .json)")
@@ -71,7 +72,8 @@ func main() {
 		scale: *scale, noAccuracy: *noAccuracy, noRedundancy: *noRedundancy,
 		showLFs: *showLFs, analyze: *analyze, saveLFs: *saveLFs, revise: *revise,
 		checkpoint: *checkpoint, resume: *resume, maxFailedIters: *maxFailedIters,
-		obs: o,
+		parallelism: *parallelism,
+		obs:         o,
 	})
 	// The cleanup writes -metrics-out and flushes the trace sink, so it
 	// must run (and be checked) even when the run itself failed.
@@ -94,6 +96,7 @@ type runOptions struct {
 	saveLFs                                      string
 	checkpoint, resume                           string
 	maxFailedIters                               int
+	parallelism                                  int
 	obs                                          *obs.Obs
 }
 
@@ -171,6 +174,7 @@ func run(ctx context.Context, o runOptions) error {
 			},
 			ReviseRejected:      o.revise,
 			MaxFailedIterations: o.maxFailedIters,
+			Parallelism:         o.parallelism,
 			Seed:                int64(100*s + 1),
 		}
 		// Same endpoint the pipeline would build itself, with a response

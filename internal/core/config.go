@@ -11,6 +11,7 @@ import (
 	"datasculpt/internal/endmodel"
 	"datasculpt/internal/lf"
 	"datasculpt/internal/llm"
+	"datasculpt/internal/par"
 )
 
 // Variant names a DataSculpt configuration from the paper's Table 2.
@@ -99,6 +100,15 @@ type Config struct {
 	// revise.go). MaxRevisions bounds the extra prompts (default 10).
 	ReviseRejected bool
 	MaxRevisions   int
+	// Parallelism bounds the worker goroutines the evaluation engine uses
+	// for vote-matrix column evaluation, the label model's EM steps,
+	// batch featurization and batch prediction. 0 (the default) selects
+	// runtime.GOMAXPROCS(0); 1 runs the exact legacy sequential path;
+	// negative values are clamped to 1. Results are bit-identical at
+	// every setting — parallel sections only write per-index state and
+	// all floating-point reductions happen in a fixed order — so this is
+	// purely a throughput knob.
+	Parallelism int
 	// Seed drives every random choice in the run.
 	Seed int64
 }
@@ -161,6 +171,11 @@ func (c *Config) Normalize() error {
 	}
 	if c.MaxRevisions <= 0 {
 		c.MaxRevisions = 10
+	}
+	if c.Parallelism == 0 {
+		c.Parallelism = par.DefaultWorkers()
+	} else if c.Parallelism < 0 {
+		c.Parallelism = 1
 	}
 	if c.MaxFailedIterations < UnlimitedFailures {
 		c.MaxFailedIterations = UnlimitedFailures

@@ -7,6 +7,7 @@ import (
 	"math"
 	"math/rand"
 	"sort"
+	"time"
 
 	"datasculpt/internal/dataset"
 	"datasculpt/internal/endmodel"
@@ -41,6 +42,42 @@ func newPipelineMetrics(reg *obs.Registry) pipelineMetrics {
 			"iterations abandoned because the LLM call failed after retries"),
 		lfsKept:    reg.Counter("pipeline_lfs_kept_total", "candidate LFs that survived the filter chain"),
 		lfsPerIter: reg.Histogram("pipeline_lfs_kept_per_iteration", "LFs kept per query iteration", obs.SmallCountBuckets),
+	}
+}
+
+// evalMetrics holds the registry handles of the evaluation engine: how
+// much work the incremental vote matrix and the EM warm start avoid, and
+// wall-clock timers for the stages the Parallelism knob accelerates.
+// Like pipelineMetrics, every handle is a free no-op under a nil
+// registry.
+type evalMetrics struct {
+	colsBuilt   *obs.Counter
+	colsReused  *obs.Counter
+	vmRebuilds  *obs.Counter
+	lmFits      *obs.Counter
+	warmStarts  *obs.Counter
+	emIters     *obs.Histogram
+	interimHits *obs.Counter
+	trainProba  *obs.Histogram
+	interim     *obs.Histogram
+	finalEval   *obs.Histogram
+}
+
+func newEvalMetrics(reg *obs.Registry) evalMetrics {
+	return evalMetrics{
+		colsBuilt:  reg.Counter("eval_vote_columns_built_total", "LF vote columns evaluated against the train split"),
+		colsReused: reg.Counter("eval_vote_columns_reused_total", "LF vote columns served from the incremental matrix cache"),
+		vmRebuilds: reg.Counter("eval_vote_matrix_rebuilds_total",
+			"full vote-matrix rebuilds forced by a non-append-only LF set change"),
+		lmFits:     reg.Counter("eval_labelmodel_fits_total", "label-model fits executed"),
+		warmStarts: reg.Counter("eval_em_warm_starts_total", "label-model fits seeded from the previous fit's parameters"),
+		emIters: reg.Histogram("eval_em_iterations", "EM iterations per label-model fit (warm starts shrink this)",
+			obs.IterationBuckets),
+		interimHits: reg.Counter("eval_interim_cache_hits_total",
+			"interim refreshes served from cache because the LF set was unchanged"),
+		trainProba: reg.Histogram("eval_train_proba_seconds", "train-split aggregation wall clock", obs.DurationBuckets),
+		interim:    reg.Histogram("eval_interim_seconds", "interim model refresh wall clock", obs.DurationBuckets),
+		finalEval:  reg.Histogram("eval_final_seconds", "final evaluation wall clock", obs.DurationBuckets),
 	}
 }
 
@@ -117,6 +154,7 @@ func RunContext(ctx context.Context, d *dataset.Dataset, cfg Config) (res *Resul
 	meter := llm.NewMeter(model)
 
 	feat := textproc.NewFeaturizer(cfg.FeatureDim)
+	feat.Workers = cfg.Parallelism
 	if err := feat.Fit(dataset.FeatureCorpus(d.Train)); err != nil {
 		return nil, fmt.Errorf("core: fitting featurizer: %w", err)
 	}
@@ -152,7 +190,10 @@ func RunContext(ctx context.Context, d *dataset.Dataset, cfg Config) (res *Resul
 	}
 	nSamples := cfg.samplesPerQuery()
 
-	ev := &evaluator{d: d, feat: feat, trainIx: trainIx, cfg: cfg}
+	ev := &evaluator{
+		d: d, feat: feat, trainIx: trainIx, cfg: cfg,
+		workers: cfg.Parallelism, em: newEvalMetrics(o.Metrics),
+	}
 	if cfg.Sampler == "coreset" {
 		state.TrainVecs = ev.trainVectors()
 	}
@@ -335,10 +376,14 @@ func EvaluateLFSet(d *dataset.Dataset, lfs []lf.LabelFunction, cfg Config) (*Res
 		return nil, err
 	}
 	feat := textproc.NewFeaturizer(cfg.FeatureDim)
+	feat.Workers = cfg.Parallelism
 	if err := feat.Fit(dataset.FeatureCorpus(d.Train)); err != nil {
 		return nil, fmt.Errorf("core: fitting featurizer: %w", err)
 	}
-	ev := &evaluator{d: d, feat: feat, trainIx: lf.NewIndex(d.Train), cfg: cfg}
+	ev := &evaluator{
+		d: d, feat: feat, trainIx: lf.NewIndex(d.Train), cfg: cfg,
+		workers: cfg.Parallelism, em: newEvalMetrics(nil),
+	}
 	res, err := ev.evaluate(lfs)
 	if err != nil {
 		return nil, err
@@ -348,13 +393,74 @@ func EvaluateLFSet(d *dataset.Dataset, lfs []lf.LabelFunction, cfg Config) (*Res
 }
 
 // evaluator holds the shared state for final and interim evaluations.
+// It is the pipeline's incremental evaluation engine: the train vote
+// matrix is cached and grown append-only (the LF set only ever grows
+// during a run), the MeTaL label model warm-starts each fit from the
+// previous one, and interim posteriors are reused outright when the LF
+// set has not changed since the last refresh.
 type evaluator struct {
 	d       *dataset.Dataset
 	feat    *textproc.Featurizer
 	trainIx *lf.Index
 	cfg     Config
+	workers int
+	em      evalMetrics
 
 	trainVecs []*textproc.SparseVector // lazily built
+
+	// Incremental train vote matrix and the LF names it was built from.
+	vm *lf.VoteMatrix
+	// prevMetal seeds the next MeTaL fit (nil until the first fit).
+	prevMetal *labelmodel.MeTaL
+	// Interim cache: posteriors from the last interimTrainProba, valid
+	// while the LF set keeps the same length (append-only ⇒ unchanged).
+	interimLFs int
+	interimEnd [][]float64
+	interimLM  [][]float64
+
+	// wrapLabelModel, when non-nil, decorates the label model before use
+	// (test hook for counting fits).
+	wrapLabelModel func(labelmodel.LabelModel) labelmodel.LabelModel
+}
+
+// voteMatrix returns the train vote matrix for lfs, reusing every column
+// already evaluated. The cache key is the append-only invariant itself:
+// lfs must extend (by name, in order) the set the cached matrix was
+// built from. Any other shape — shrunk, reordered, renamed — forces a
+// full rebuild, so correctness never depends on the invariant holding.
+func (ev *evaluator) voteMatrix(lfs []lf.LabelFunction) *lf.VoteMatrix {
+	if ev.vm == nil {
+		ev.vm = lf.NewVoteMatrix(ev.trainIx.Size())
+	}
+	reused := ev.vm.NumLFs()
+	prefixOK := len(lfs) >= reused
+	if prefixOK {
+		names := ev.vm.Names()
+		for j := 0; j < reused; j++ {
+			if lfs[j].Name() != names[j] {
+				prefixOK = false
+				break
+			}
+		}
+	}
+	if !prefixOK {
+		ev.em.vmRebuilds.Inc()
+		ev.vm = lf.BuildVoteMatrixParallel(ev.trainIx, lfs, ev.workers)
+		ev.em.colsBuilt.AddInt(len(lfs))
+		ev.invalidateInterim()
+		return ev.vm
+	}
+	if added := ev.vm.AppendLFs(ev.trainIx, lfs[reused:], ev.workers); added > 0 {
+		ev.em.colsBuilt.AddInt(added)
+	}
+	ev.em.colsReused.AddInt(reused)
+	return ev.vm
+}
+
+func (ev *evaluator) invalidateInterim() {
+	ev.interimLFs = 0
+	ev.interimEnd = nil
+	ev.interimLM = nil
 }
 
 func (ev *evaluator) trainVectors() []*textproc.SparseVector {
@@ -382,9 +488,13 @@ func (ev *evaluator) labelModel(lfs []lf.LabelFunction) (labelmodel.LabelModel, 
 }
 
 // trainProba aggregates LF votes over the train split into per-example
-// posteriors; uncovered examples get nil.
+// posteriors; uncovered examples get nil. Vote columns come from the
+// evaluator's incremental matrix, and a MeTaL label model resumes EM
+// from the previous fit's parameters.
 func (ev *evaluator) trainProba(lfs []lf.LabelFunction) (*lf.VoteMatrix, [][]float64, error) {
-	vm := lf.BuildVoteMatrix(ev.trainIx, lfs)
+	start := time.Now()
+	defer func() { ev.em.trainProba.Observe(time.Since(start).Seconds()) }()
+	vm := ev.voteMatrix(lfs)
 	if len(lfs) == 0 || vm.TotalCoverage() == 0 {
 		return vm, make([][]float64, vm.NumExamples()), nil
 	}
@@ -392,10 +502,27 @@ func (ev *evaluator) trainProba(lfs []lf.LabelFunction) (*lf.VoteMatrix, [][]flo
 	if err != nil {
 		return nil, nil, err
 	}
-	if err := lm.Fit(vm, ev.d.NumClasses()); err != nil {
+	mt, isMetal := lm.(*labelmodel.MeTaL)
+	if isMetal {
+		mt.Workers = ev.workers
+		if ev.prevMetal != nil {
+			mt.WarmStart(ev.prevMetal)
+			ev.em.warmStarts.Inc()
+		}
+	}
+	fitter := lm
+	if ev.wrapLabelModel != nil {
+		fitter = ev.wrapLabelModel(lm)
+	}
+	ev.em.lmFits.Inc()
+	if err := fitter.Fit(vm, ev.d.NumClasses()); err != nil {
 		return nil, nil, fmt.Errorf("core: fitting label model: %w", err)
 	}
-	return vm, lm.PredictProba(vm), nil
+	if isMetal {
+		ev.prevMetal = mt
+		ev.em.emIters.Observe(float64(mt.EMIterations()))
+	}
+	return vm, fitter.PredictProba(vm), nil
 }
 
 // trainingSet assembles end-model inputs from posteriors, applying the
@@ -411,6 +538,15 @@ func (ev *evaluator) trainProba(lfs []lf.LabelFunction) (*lf.VoteMatrix, [][]flo
 func (ev *evaluator) trainingSet(proba [][]float64) (X []*textproc.SparseVector, Y [][]float64, weights []float64) {
 	k := ev.d.NumClasses()
 	vecs := ev.trainVectors()
+	// One flat backing array for every one-hot row: the per-example
+	// make([]float64, k) calls otherwise dominate this function's
+	// allocation profile on the 96k-example splits.
+	backing := make([]float64, len(proba)*k)
+	nextRow := func() []float64 {
+		row := backing[:k:k]
+		backing = backing[k:]
+		return row
+	}
 	for i, p := range proba {
 		switch {
 		case p != nil:
@@ -420,13 +556,13 @@ func (ev *evaluator) trainingSet(proba [][]float64) (X []*textproc.SparseVector,
 					best = c
 				}
 			}
-			oneHot := make([]float64, k)
+			oneHot := nextRow()
 			oneHot[best] = 1
 			X = append(X, vecs[i])
 			Y = append(Y, oneHot)
 			weights = append(weights, p[best])
 		case ev.d.DefaultClass != dataset.NoDefaultClass:
-			oneHot := make([]float64, k)
+			oneHot := nextRow()
 			oneHot[ev.d.DefaultClass] = 1
 			X = append(X, vecs[i])
 			Y = append(Y, oneHot)
@@ -460,19 +596,27 @@ func (ev *evaluator) trainingSet(proba [][]float64) (X []*textproc.SparseVector,
 
 // evaluate produces the final Result for an LF set.
 func (ev *evaluator) evaluate(lfs []lf.LabelFunction) (*Result, error) {
+	start := time.Now()
+	defer func() { ev.em.finalEval.Observe(time.Since(start).Seconds()) }()
 	vm, proba, err := ev.trainProba(lfs)
 	if err != nil {
 		return nil, err
 	}
+	// All Table 2 vote statistics in one sparse sweep.
+	var trainGold []int
+	if ev.d.TrainLabeled {
+		trainGold = dataset.Labels(ev.d.Train)
+	}
+	stats := vm.ComputeStats(trainGold, ev.workers)
 	res := &Result{
 		NumLFs:        len(lfs),
-		LFCoverage:    vm.MeanCoverage(),
-		TotalCoverage: vm.TotalCoverage(),
+		LFCoverage:    stats.MeanCoverage,
+		TotalCoverage: stats.TotalCoverage,
 		MetricName:    ev.d.MetricName(),
 		LFs:           lfs,
 	}
 	if ev.d.TrainLabeled {
-		res.LFAccuracy, res.LFAccuracyKnown = vm.MeanLFAccuracy(dataset.Labels(ev.d.Train))
+		res.LFAccuracy, res.LFAccuracyKnown = stats.MeanLFAccuracy, stats.AccuracyKnown
 	}
 
 	X, Y, weights := ev.trainingSet(proba)
@@ -493,6 +637,7 @@ func (ev *evaluator) evaluate(lfs []lf.LabelFunction) (*Result, error) {
 		if err != nil {
 			return nil, fmt.Errorf("core: training end model: %w", err)
 		}
+		m.SetParallelism(ev.workers)
 		testX := ev.feat.TransformAll(dataset.FeatureCorpus(ev.d.Test))
 		pred = m.Predict(testX)
 	}
@@ -515,6 +660,16 @@ func (ev *evaluator) interimTrainProba(lfs []lf.LabelFunction, rng *rand.Rand) (
 	if len(lfs) == 0 {
 		return nil, nil, fmt.Errorf("core: no LFs yet")
 	}
+	// The LF set is append-only within a run, so an unchanged length
+	// means an unchanged set: the previous refresh's posteriors are still
+	// exact. Skipping the refit also skips its rng subsample draw — the
+	// sampler sees identical scores either way.
+	if ev.interimEnd != nil && ev.interimLFs == len(lfs) {
+		ev.em.interimHits.Inc()
+		return ev.interimEnd, ev.interimLM, nil
+	}
+	start := time.Now()
+	defer func() { ev.em.interim.Observe(time.Since(start).Seconds()) }()
 	_, lmProba, err = ev.trainProba(lfs)
 	if err != nil {
 		return nil, nil, err
@@ -540,5 +695,10 @@ func (ev *evaluator) interimTrainProba(lfs []lf.LabelFunction, rng *rand.Rand) (
 	if err != nil {
 		return nil, nil, err
 	}
-	return m.PredictProbaAll(ev.trainVectors()), lmProba, nil
+	m.SetParallelism(ev.workers)
+	endProba = m.PredictProbaAll(ev.trainVectors())
+	ev.interimLFs = len(lfs)
+	ev.interimEnd = endProba
+	ev.interimLM = lmProba
+	return endProba, lmProba, nil
 }

@@ -11,6 +11,7 @@ import (
 	"math"
 	"math/rand"
 
+	"datasculpt/internal/par"
 	"datasculpt/internal/textproc"
 )
 
@@ -55,7 +56,16 @@ type LogisticRegression struct {
 	// W is the K×Dim weight matrix, B the per-class bias.
 	W [][]float64
 	B []float64
+
+	// workers bounds the goroutines batch prediction fans out over
+	// (<= 1 sequential). Per-example outputs are independent, so every
+	// worker count produces identical results. Not serialized — a
+	// deserialized model predicts sequentially until SetParallelism.
+	workers int
 }
+
+// SetParallelism sets the worker bound for Predict/PredictProbaAll.
+func (m *LogisticRegression) SetParallelism(workers int) { m.workers = workers }
 
 // Train fits the model on sparse features X with soft targets Y (each row
 // a probability vector over k classes) using mini-batch SGD with
@@ -171,28 +181,40 @@ func (m *LogisticRegression) PredictProba(x *textproc.SparseVector) []float64 {
 	return out
 }
 
-// Predict returns argmax classes for a batch.
+// Predict returns argmax classes for a batch, sharded across the
+// configured workers (identical output at any worker count).
 func (m *LogisticRegression) Predict(X []*textproc.SparseVector) []int {
 	out := make([]int, len(X))
-	probs := make([]float64, m.K)
-	for i, x := range X {
-		m.logits(x, probs)
-		best := 0
-		for c := 1; c < m.K; c++ {
-			if probs[c] > probs[best] {
-				best = c
+	par.Chunks(m.workers, len(X), func(lo, hi int) {
+		probs := make([]float64, m.K)
+		for i := lo; i < hi; i++ {
+			m.logits(X[i], probs)
+			best := 0
+			for c := 1; c < m.K; c++ {
+				if probs[c] > probs[best] {
+					best = c
+				}
 			}
+			out[i] = best
 		}
-		out[i] = best
-	}
+	})
 	return out
 }
 
-// PredictProbaAll returns class distributions for a batch.
+// PredictProbaAll returns class distributions for a batch, sharded
+// across the configured workers. All rows share one flat backing array —
+// a single allocation instead of one per example, which matters when the
+// pipeline re-predicts the full train split every interim refresh.
 func (m *LogisticRegression) PredictProbaAll(X []*textproc.SparseVector) [][]float64 {
 	out := make([][]float64, len(X))
-	for i, x := range X {
-		out[i] = m.PredictProba(x)
-	}
+	backing := make([]float64, len(X)*m.K)
+	par.Chunks(m.workers, len(X), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			row := backing[i*m.K : (i+1)*m.K : (i+1)*m.K]
+			m.logits(X[i], row)
+			softmaxInPlace(row)
+			out[i] = row
+		}
+	})
 	return out
 }

@@ -36,6 +36,12 @@ type Options struct {
 	// every cell owns its RNGs and simulated endpoint, and results are
 	// committed by cell index, not completion order.
 	Workers int
+	// Parallelism is each cell's intra-run worker count
+	// (core.Config.Parallelism). The default is 1 — grid cells already
+	// saturate the machine through Workers, and nesting parallelism
+	// would oversubscribe it — but a sweep of a few expensive cells can
+	// raise it. Results are bit-identical at any setting.
+	Parallelism int
 	// KeepGoing records per-cell errors in the grid instead of
 	// fail-fast cancellation, so one broken cell cannot void an
 	// overnight sweep. Failed cells render as zeros; inspect them with
@@ -89,6 +95,9 @@ func (o Options) normalized() Options {
 	}
 	if o.Workers <= 0 {
 		o.Workers = runtime.GOMAXPROCS(0)
+	}
+	if o.Parallelism <= 0 {
+		o.Parallelism = 1
 	}
 	if o.Obs == nil {
 		o.Obs = obs.Default()

@@ -51,6 +51,7 @@ func baseConfig(o Options, method, ds string, seed int) core.Config {
 		Iterations:          o.Iterations,
 		Seed:                int64(100*seed + 1),
 		MaxFailedIterations: o.MaxFailedIterations,
+		Parallelism:         o.Parallelism,
 	}
 	if o.Chaos != nil {
 		cc := o.Chaos.normalized()

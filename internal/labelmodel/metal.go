@@ -5,6 +5,7 @@ import (
 	"math"
 
 	"datasculpt/internal/lf"
+	"datasculpt/internal/par"
 )
 
 // MeTaL is a generative label model in the spirit of Ratner et al. (2019),
@@ -25,6 +26,17 @@ import (
 // before the vote is read — while a generic-word LF fires uniformly and
 // its activation is correctly treated as uninformative. Modeling θ_jc is
 // what lets the posterior separate the two on imbalanced datasets.
+//
+// The EM loop is engineered for the pipeline's per-iteration refit:
+// vote columns are consumed through the matrix's sparse active lists
+// (O(nnz), not O(n·m)), the E-step shards examples across Workers
+// goroutines, and WarmStart seeds the next fit from the previous one so
+// EM resumes near its fixpoint instead of from scratch. Determinism is
+// preserved at every worker count: each example's posterior arithmetic
+// is self-contained (identical regardless of which goroutine runs it),
+// and the floating-point reductions — log-likelihood and class mass —
+// are summed sequentially in ascending example order after the parallel
+// section.
 type MeTaL struct {
 	// MaxIter bounds EM iterations (default 100).
 	MaxIter int
@@ -53,12 +65,25 @@ type MeTaL struct {
 	// sparse, so it is off by default and exercised by the ablation
 	// benchmarks.
 	SuppressSingleClassVote bool
+	// Workers bounds the goroutines used by Fit's E/M steps and by
+	// PredictProba. <= 1 (the zero value) is fully sequential; any value
+	// yields bit-identical results.
+	Workers int
 
 	k        int
 	acc      []float64   // per-LF accuracy a_j
 	theta    [][]float64 // per-LF per-class activation propensity θ_jc
 	voteless []bool      // per-LF: vote factor suppressed (single-class LF)
 	prior    []float64   // class priors π
+
+	// Warm-start state installed by WarmStart and consumed by Fit.
+	warmAcc   []float64
+	warmTheta [][]float64
+	warmPrior []float64
+	warmK     int
+
+	emIters int // EM iterations the last Fit ran
+	warmLFs int // LF columns the last Fit initialized from a warm start
 }
 
 // Accuracy-anchor hyperparameters of the M-step's Beta prior: sparse LFs
@@ -95,6 +120,39 @@ func (m *MeTaL) Propensities() [][]float64 { return m.theta }
 // Priors returns the class priors (shared slice).
 func (m *MeTaL) Priors() []float64 { return m.prior }
 
+// EMIterations returns how many EM iterations the last Fit ran — the
+// quantity a warm start shrinks.
+func (m *MeTaL) EMIterations() int { return m.emIters }
+
+// WarmStartedLFs returns how many LF columns the last Fit initialized
+// from a WarmStart donor (0 on a cold fit).
+func (m *MeTaL) WarmStartedLFs() int { return m.warmLFs }
+
+// WarmStart seeds the next Fit with the parameters a previous fit
+// learned: columns shared with the donor (a prefix, under the pipeline's
+// append-only LF set) start EM at the donor's acc/θ instead of the
+// default init, so EM resumes near its previous fixpoint and converges
+// in a handful of iterations. Columns beyond the donor's width get the
+// default init; a donor fitted on a different class count is ignored.
+// The donor's parameters are copied, not aliased.
+func (m *MeTaL) WarmStart(prev *MeTaL) {
+	m.warmAcc, m.warmTheta, m.warmPrior, m.warmK = nil, nil, nil, 0
+	if prev == nil || prev.k == 0 || len(prev.acc) == 0 {
+		return
+	}
+	m.warmK = prev.k
+	m.warmAcc = append([]float64(nil), prev.acc...)
+	if prev.theta != nil {
+		m.warmTheta = make([][]float64, len(prev.theta))
+		for j, row := range prev.theta {
+			m.warmTheta[j] = append([]float64(nil), row...)
+		}
+	}
+	if prev.prior != nil {
+		m.warmPrior = append([]float64(nil), prev.prior...)
+	}
+}
+
 // activeList caches the active (docID, vote) pairs of one LF column,
 // plus whether the LF only ever emits a single class.
 type activeList struct {
@@ -111,23 +169,133 @@ type activeList struct {
 
 func collectActive(vm *lf.VoteMatrix) []activeList {
 	out := make([]activeList, vm.NumLFs())
-	for j := 0; j < vm.NumLFs(); j++ {
-		col := vm.Column(j)
-		al := activeList{singleClass: true, voteClass: -1}
-		for i, v := range col {
-			if v != lf.Abstain {
-				al.ids = append(al.ids, int32(i))
-				al.votes = append(al.votes, v)
-				if al.voteClass == -1 {
-					al.voteClass = int(v)
-				} else if al.voteClass != int(v) {
-					al.singleClass = false
-				}
+	for j := range out {
+		ids, votes := vm.Active(j)
+		al := activeList{ids: ids, votes: votes, singleClass: true, voteClass: -1}
+		for _, v := range votes {
+			if al.voteClass == -1 {
+				al.voteClass = int(v)
+			} else if al.voteClass != int(v) {
+				al.singleClass = false
+				break
 			}
 		}
 		out[j] = al
 	}
 	return out
+}
+
+// voteCSR is the row-major view of a vote matrix: for example i, the
+// (LF, vote) pairs live in js/vs[start[i]:start[i+1]], with LF indices
+// ascending — the same order the column-sparse accumulation visits them,
+// which keeps the floating-point sums bit-identical to the historical
+// sequential E-step.
+type voteCSR struct {
+	start []int
+	js    []int32
+	vs    []int8
+}
+
+func buildCSR(vm *lf.VoteMatrix) voteCSR {
+	n, nLF := vm.NumExamples(), vm.NumLFs()
+	start := make([]int, n+1)
+	for j := 0; j < nLF; j++ {
+		ids, _ := vm.Active(j)
+		for _, id := range ids {
+			start[id+1]++
+		}
+	}
+	for i := 0; i < n; i++ {
+		start[i+1] += start[i]
+	}
+	nnz := start[n]
+	csr := voteCSR{start: start, js: make([]int32, nnz), vs: make([]int8, nnz)}
+	fill := append([]int(nil), start[:n]...)
+	for j := 0; j < nLF; j++ {
+		ids, votes := vm.Active(j)
+		for t, id := range ids {
+			p := fill[id]
+			csr.js[p] = int32(j)
+			csr.vs[p] = votes[t]
+			fill[id] = p + 1
+		}
+	}
+	return csr
+}
+
+// factorTables precomputes, for the current parameters, every per-LF log
+// term the posterior needs: the vote factors log a_j and
+// log((1-a_j)/(K-1)), and the activation odds log θ_jc - log(1-θ_jc)
+// (flattened j*k+c; nil when propensity is off). The historical code
+// recomputed these math.Log calls per active entry per class — the same
+// values, so sharing them is bit-identical and saves the dominant share
+// of E-step and PredictProba flops.
+type factorTables struct {
+	logA, logMiss []float64
+	thetaLog      []float64
+}
+
+func (m *MeTaL) buildTables(nLF, k, workers int) factorTables {
+	ft := factorTables{
+		logA:    make([]float64, nLF),
+		logMiss: make([]float64, nLF),
+	}
+	if m.theta != nil {
+		ft.thetaLog = make([]float64, nLF*k)
+	}
+	par.Chunks(workers, nLF, func(lo, hi int) {
+		for j := lo; j < hi; j++ {
+			ft.logA[j] = math.Log(m.acc[j])
+			ft.logMiss[j] = math.Log((1 - m.acc[j]) / float64(k-1))
+			if ft.thetaLog != nil {
+				for c := 0; c < k; c++ {
+					ft.thetaLog[j*k+c] = math.Log(m.theta[j][c]) - math.Log(1-m.theta[j][c])
+				}
+			}
+		}
+	})
+	return ft
+}
+
+// baseTerms returns the per-class log mass every covered example starts
+// from: log π_c plus, with propensity on, the all-LFs-inactive term
+// Σ_j log(1-θ_jc), summed in ascending LF order.
+func (m *MeTaL) baseTerms(nLF, k int) []float64 {
+	base := make([]float64, k)
+	for c := range base {
+		base[c] = math.Log(m.prior[c])
+	}
+	if m.theta != nil {
+		for j := 0; j < nLF; j++ {
+			for c := 0; c < k; c++ {
+				base[c] += math.Log(1 - m.theta[j][c])
+			}
+		}
+	}
+	return base
+}
+
+// scoreRow accumulates one example's active-LF factors onto row (already
+// initialized with the base terms), visiting LFs in ascending order.
+func (m *MeTaL) scoreRow(row []float64, csr voteCSR, i, k int, ft factorTables) {
+	for p := csr.start[i]; p < csr.start[i+1]; p++ {
+		j := int(csr.js[p])
+		v := int(csr.vs[p])
+		useVote := !m.voteless[j]
+		for c := 0; c < k; c++ {
+			var factor float64
+			if useVote {
+				factor = ft.logMiss[j]
+				if c == v {
+					factor = ft.logA[j]
+				}
+			}
+			if ft.thetaLog != nil {
+				factor += ft.thetaLog[j*k+c]
+			}
+			row[c] += factor
+		}
+	}
 }
 
 // Fit implements LabelModel.
@@ -142,6 +310,8 @@ func (m *MeTaL) Fit(vm *lf.VoteMatrix, numClasses int) error {
 		m.Tol = 1e-6
 	}
 	m.k = numClasses
+	m.emIters = 0
+	m.warmLFs = 0
 	nLF := vm.NumLFs()
 	m.acc = make([]float64, nLF)
 	m.theta = nil
@@ -225,74 +395,77 @@ func (m *MeTaL) Fit(vm *lf.VoteMatrix, numClasses int) error {
 		}
 	}
 
+	// Warm start: overlay the donor's converged parameters on the shared
+	// prefix of the LF set. Appended columns keep the default init above.
+	if m.warmK == numClasses && len(m.warmAcc) > 0 {
+		shared := len(m.warmAcc)
+		if shared > nLF {
+			shared = nLF
+		}
+		copy(m.acc[:shared], m.warmAcc[:shared])
+		if m.theta != nil && m.warmTheta != nil {
+			for j := 0; j < shared && j < len(m.warmTheta); j++ {
+				copy(m.theta[j], m.warmTheta[j])
+			}
+		}
+		if m.LearnPrior && len(m.warmPrior) == numClasses {
+			copy(m.prior, m.warmPrior)
+		}
+		m.warmLFs = shared
+	}
+
 	n := vm.NumExamples()
+	workers := m.Workers
+	csr := buildCSR(vm)
 	logpost := make([][]float64, n)
 	gamma := make([][]float64, n)
+	lse := make([]float64, n)
+	backing := make([]float64, 2*nCovered*numClasses) // one alloc for all rows
+	off := 0
 	for i := range logpost {
 		if covered[i] {
-			logpost[i] = make([]float64, numClasses)
-			gamma[i] = make([]float64, numClasses)
+			logpost[i] = backing[off : off+numClasses : off+numClasses]
+			gamma[i] = backing[off+numClasses : off+2*numClasses : off+2*numClasses]
+			off += 2 * numClasses
 		}
 	}
 
 	prevLL := math.Inf(-1)
 	for iter := 0; iter < m.MaxIter; iter++ {
+		m.emIters = iter + 1
 		// E-step. With propensity on, every covered document carries the
 		// inactive-LF mass Σ_j log(1-θ_jc) as a per-class base term, and
 		// each active LF swaps its log(1-θ_jc) for log θ_jc plus the vote
-		// factor. Accumulation stays column-sparse.
-		base := make([]float64, numClasses)
-		for c := range base {
-			base[c] = math.Log(m.prior[c])
-		}
-		if m.ModelPropensity {
-			for j := 0; j < nLF; j++ {
-				for c := 0; c < numClasses; c++ {
-					base[c] += math.Log(1 - m.theta[j][c])
+		// factor. Examples are sharded across workers; each index owns
+		// its logpost/gamma/lse slots, so the arithmetic is identical at
+		// every worker count.
+		ft := m.buildTables(nLF, numClasses, workers)
+		base := m.baseTerms(nLF, numClasses)
+		par.Chunks(workers, n, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				row := logpost[i]
+				if row == nil {
+					continue
+				}
+				copy(row, base)
+				m.scoreRow(row, csr, i, numClasses, ft)
+				l := logSumExp(row)
+				lse[i] = l
+				for c, g := range row {
+					gamma[i][c] = math.Exp(g - l)
 				}
 			}
-		}
-		for i := range logpost {
-			if logpost[i] == nil {
-				continue
-			}
-			copy(logpost[i], base)
-		}
-		for j := 0; j < nLF; j++ {
-			logA := math.Log(m.acc[j])
-			logMiss := math.Log((1 - m.acc[j]) / float64(numClasses-1))
-			al := active[j]
-			useVote := !m.voteless[j]
-			for t, id := range al.ids {
-				v := int(al.votes[t])
-				row := logpost[id]
-				for c := 0; c < numClasses; c++ {
-					var factor float64
-					if useVote {
-						factor = logMiss
-						if c == v {
-							factor = logA
-						}
-					}
-					if m.ModelPropensity {
-						factor += math.Log(m.theta[j][c]) - math.Log(1-m.theta[j][c])
-					}
-					row[c] += factor
-				}
-			}
-		}
+		})
+		// Reductions in ascending example order, off the parallel path:
+		// the sum order — and therefore every bit of the result — is
+		// independent of the worker count.
 		var ll float64
 		for i := range logpost {
 			if logpost[i] == nil {
 				continue
 			}
-			lse := logSumExp(logpost[i])
-			ll += lse
-			for c := range gamma[i] {
-				gamma[i][c] = math.Exp(logpost[i][c] - lse)
-			}
+			ll += lse[i]
 		}
-
 		// Class mass over covered documents (for propensity denominators).
 		classMass := make([]float64, numClasses)
 		for i := range gamma {
@@ -310,54 +483,60 @@ func (m *MeTaL) Fit(vm *lf.VoteMatrix, numClasses int) error {
 		// unanchored estimates drift toward whatever the current
 		// responsibilities happen to say. The anchor (pseudo-count
 		// accPseudo) keeps sparse LFs near the plausible operating point
-		// while densely-covered LFs remain data-driven.
-		for j := 0; j < nLF; j++ {
-			al := active[j]
-			var correct, total float64
+		// while densely-covered LFs remain data-driven. LFs are sharded
+		// across workers; each owns its acc/theta row.
+		par.Chunks(workers, nLF, func(lo, hi int) {
 			activeMass := make([]float64, numClasses)
-			for t, id := range al.ids {
-				v := int(al.votes[t])
-				correct += gamma[id][v]
-				total++
-				for c := 0; c < numClasses; c++ {
-					activeMass[c] += gamma[id][c]
+			for j := lo; j < hi; j++ {
+				al := active[j]
+				var correct, total float64
+				for c := range activeMass {
+					activeMass[c] = 0
 				}
-			}
-			a := (correct + accPseudo*accAnchor) / (total + accPseudo)
-			// Better-than-chance constraint (standard in data programming):
-			// without it EM has a degenerate mode that explains minority-
-			// class LFs as systematically inverted and collapses the prior.
-			floor := 1.0/float64(numClasses) + 0.05
-			if a < floor {
-				a = floor
-			}
-			if a > 0.995 {
-				a = 0.995
-			}
-			m.acc[j] = a
+				for t, id := range al.ids {
+					v := int(al.votes[t])
+					correct += gamma[id][v]
+					total++
+					for c := 0; c < numClasses; c++ {
+						activeMass[c] += gamma[id][c]
+					}
+				}
+				a := (correct + accPseudo*accAnchor) / (total + accPseudo)
+				// Better-than-chance constraint (standard in data programming):
+				// without it EM has a degenerate mode that explains minority-
+				// class LFs as systematically inverted and collapses the prior.
+				floor := 1.0/float64(numClasses) + 0.05
+				if a < floor {
+					a = floor
+				}
+				if a > 0.995 {
+					a = 0.995
+				}
+				m.acc[j] = a
 
-			if m.ModelPropensity {
-				marginal := (total + 1) / (float64(nCovered) + 2)
-				lo := marginal / thetaClampFactor
-				hi := marginal * thetaClampFactor
-				if lo < 1e-4 {
-					lo = 1e-4
-				}
-				if hi > 0.999 {
-					hi = 0.999
-				}
-				for c := 0; c < numClasses; c++ {
-					th := (activeMass[c] + thetaPseudo) / (classMass[c] + 2*thetaPseudo)
-					if th < lo {
-						th = lo
+				if m.ModelPropensity {
+					marginal := (total + 1) / (float64(nCovered) + 2)
+					lo := marginal / thetaClampFactor
+					hi := marginal * thetaClampFactor
+					if lo < 1e-4 {
+						lo = 1e-4
 					}
-					if th > hi {
-						th = hi
+					if hi > 0.999 {
+						hi = 0.999
 					}
-					m.theta[j][c] = th
+					for c := 0; c < numClasses; c++ {
+						th := (activeMass[c] + thetaPseudo) / (classMass[c] + 2*thetaPseudo)
+						if th < lo {
+							th = lo
+						}
+						if th > hi {
+							th = hi
+						}
+						m.theta[j][c] = th
+					}
 				}
 			}
-		}
+		})
 		if m.LearnPrior {
 			for c := 0; c < numClasses; c++ {
 				m.prior[c] = (classMass[c] + 1.0) / (float64(nCovered) + float64(numClasses))
@@ -378,7 +557,10 @@ func (m *MeTaL) Fit(vm *lf.VoteMatrix, numClasses int) error {
 	return nil
 }
 
-// PredictProba implements LabelModel.
+// PredictProba implements LabelModel. Uncovered examples get a nil row.
+// Examples are sharded across Workers goroutines; each example's
+// posterior is computed independently, so output is identical at every
+// worker count.
 func (m *MeTaL) PredictProba(vm *lf.VoteMatrix) [][]float64 {
 	if m.k == 0 {
 		panic("metal: PredictProba before Fit")
@@ -387,57 +569,42 @@ func (m *MeTaL) PredictProba(vm *lf.VoteMatrix) [][]float64 {
 		panic(fmt.Sprintf("metal: matrix has %d LFs, fitted on %d", vm.NumLFs(), len(m.acc)))
 	}
 	n := vm.NumExamples()
-	out := make([][]float64, n)
-	logp := make([]float64, m.k)
-	row := make([]int, vm.NumLFs())
+	nLF := vm.NumLFs()
+	workers := m.Workers
+	csr := buildCSR(vm)
+	ft := m.buildTables(nLF, m.k, workers)
+	base := m.baseTerms(nLF, m.k)
 
-	base := make([]float64, m.k)
-	for c := range base {
-		base[c] = math.Log(m.prior[c])
-	}
-	if m.theta != nil {
-		for j := range m.theta {
-			for c := 0; c < m.k; c++ {
-				base[c] += math.Log(1 - m.theta[j][c])
-			}
+	out := make([][]float64, n)
+	nCov := 0
+	for i := 0; i < n; i++ {
+		if csr.start[i+1] > csr.start[i] {
+			nCov++
 		}
 	}
-
+	backing := make([]float64, nCov*m.k)
+	off := 0
 	for i := 0; i < n; i++ {
-		vm.Row(i, row)
-		any := false
-		copy(logp, base)
-		for j, v := range row {
-			if v == lf.Abstain {
+		if csr.start[i+1] > csr.start[i] {
+			out[i] = backing[off : off+m.k : off+m.k]
+			off += m.k
+		}
+	}
+	par.Chunks(workers, n, func(lo, hi int) {
+		logp := make([]float64, m.k)
+		for i := lo; i < hi; i++ {
+			p := out[i]
+			if p == nil {
 				continue
 			}
-			any = true
-			logA := math.Log(m.acc[j])
-			logMiss := math.Log((1 - m.acc[j]) / float64(m.k-1))
-			for c := 0; c < m.k; c++ {
-				var factor float64
-				if !m.voteless[j] {
-					factor = logMiss
-					if c == v {
-						factor = logA
-					}
-				}
-				if m.theta != nil {
-					factor += math.Log(m.theta[j][c]) - math.Log(1-m.theta[j][c])
-				}
-				logp[c] += factor
+			copy(logp, base)
+			m.scoreRow(logp, csr, i, m.k, ft)
+			l := logSumExp(logp)
+			for c := range p {
+				p[c] = math.Exp(logp[c] - l)
 			}
 		}
-		if !any {
-			continue
-		}
-		lse := logSumExp(logp)
-		p := make([]float64, m.k)
-		for c := range p {
-			p[c] = math.Exp(logp[c] - lse)
-		}
-		out[i] = p
-	}
+	})
 	return out
 }
 

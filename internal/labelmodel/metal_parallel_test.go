@@ -1,0 +1,160 @@
+package labelmodel
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"datasculpt/internal/dataset"
+	"datasculpt/internal/lf"
+)
+
+// synthVoteMatrix builds a vote matrix from a random keyword corpus with
+// enough overlap that EM has real work to do.
+func synthVoteMatrix(t *testing.T, seed int64, n, m, k int) (*lf.VoteMatrix, []lf.LabelFunction) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	vocab := []string{"alpha", "beta", "gamma", "delta", "cash", "free",
+		"prize", "song", "winner", "channel", "stock", "goal"}
+	split := make([]*dataset.Example, n)
+	for i := range split {
+		var words []string
+		for w := 0; w < 3+rng.Intn(9); w++ {
+			words = append(words, vocab[rng.Intn(len(vocab))])
+		}
+		e := &dataset.Example{ID: i, Text: strings.Join(words, " "), E1Pos: -1, E2Pos: -1}
+		e.EnsureTokens()
+		split[i] = e
+	}
+	lfs := make([]lf.LabelFunction, 0, m)
+	for len(lfs) < m {
+		f, err := lf.NewKeywordLF(vocab[rng.Intn(len(vocab))], rng.Intn(k))
+		if err != nil {
+			t.Fatalf("keyword LF: %v", err)
+		}
+		lfs = append(lfs, f)
+	}
+	return lf.BuildVoteMatrix(lf.NewIndex(split), lfs), lfs
+}
+
+func fitMeTaL(t *testing.T, vm *lf.VoteMatrix, k, workers int, warm *MeTaL) *MeTaL {
+	t.Helper()
+	m := NewMeTaL()
+	m.Workers = workers
+	if warm != nil {
+		m.WarmStart(warm)
+	}
+	if err := m.Fit(vm, k); err != nil {
+		t.Fatalf("fit (workers=%d): %v", workers, err)
+	}
+	return m
+}
+
+// TestMeTaLParallelFitBitIdentical is the determinism hard constraint:
+// Workers: N must reproduce Workers: 1 bit for bit — parameters,
+// iteration count, and posteriors.
+func TestMeTaLParallelFitBitIdentical(t *testing.T) {
+	const k = 3
+	for _, seed := range []int64{1, 7, 99} {
+		vm, _ := synthVoteMatrix(t, seed, 400, 24, k)
+		ref := fitMeTaL(t, vm, k, 1, nil)
+		refP := ref.PredictProba(vm)
+		for _, workers := range []int{2, 4, 13} {
+			m := fitMeTaL(t, vm, k, workers, nil)
+			if m.EMIterations() != ref.EMIterations() {
+				t.Fatalf("seed %d workers %d: %d EM iters != sequential %d",
+					seed, workers, m.EMIterations(), ref.EMIterations())
+			}
+			for j := range ref.acc {
+				if m.acc[j] != ref.acc[j] {
+					t.Fatalf("seed %d workers %d: acc[%d] %v != %v", seed, workers, j, m.acc[j], ref.acc[j])
+				}
+				for c := 0; c < k; c++ {
+					if m.theta[j][c] != ref.theta[j][c] {
+						t.Fatalf("seed %d workers %d: theta[%d][%d] %v != %v",
+							seed, workers, j, c, m.theta[j][c], ref.theta[j][c])
+					}
+				}
+			}
+			p := m.PredictProba(vm)
+			for i := range refP {
+				if (p[i] == nil) != (refP[i] == nil) {
+					t.Fatalf("seed %d workers %d: coverage mismatch at %d", seed, workers, i)
+				}
+				for c := range refP[i] {
+					if p[i][c] != refP[i][c] {
+						t.Fatalf("seed %d workers %d: proba[%d][%d] %v != %v",
+							seed, workers, i, c, p[i][c], refP[i][c])
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestMeTaLWarmStartConverges: refitting the same matrix from the
+// previous fixpoint must converge at least as fast as a cold fit, report
+// the warm-started column count, and land on the same parameters.
+func TestMeTaLWarmStartConverges(t *testing.T) {
+	const k = 3
+	vm, _ := synthVoteMatrix(t, 5, 500, 20, k)
+	cold := fitMeTaL(t, vm, k, 1, nil)
+	warm := fitMeTaL(t, vm, k, 1, cold)
+	if warm.WarmStartedLFs() != vm.NumLFs() {
+		t.Fatalf("warm-started %d LFs, want %d", warm.WarmStartedLFs(), vm.NumLFs())
+	}
+	if warm.EMIterations() > cold.EMIterations() {
+		t.Fatalf("warm fit ran %d EM iters, cold ran %d", warm.EMIterations(), cold.EMIterations())
+	}
+	for j := range cold.acc {
+		if d := warm.acc[j] - cold.acc[j]; d > 1e-6 || d < -1e-6 {
+			t.Fatalf("acc[%d] drifted under warm start: %v vs %v", j, warm.acc[j], cold.acc[j])
+		}
+	}
+}
+
+// TestMeTaLWarmStartGrownLFSet mirrors the pipeline: the LF set grows,
+// the shared prefix is warm-started, the appended columns get default
+// init, and the fit still succeeds.
+func TestMeTaLWarmStartGrownLFSet(t *testing.T) {
+	const k = 3
+	vm, lfs := synthVoteMatrix(t, 11, 400, 18, k)
+	half := lf.BuildVoteMatrix(lf.NewIndex(vmSplit(t, 11, 400)), lfs[:9])
+	prev := fitMeTaL(t, half, k, 1, nil)
+	grown := fitMeTaL(t, vm, k, 2, prev)
+	if grown.WarmStartedLFs() != 9 {
+		t.Fatalf("warm-started %d LFs, want 9", grown.WarmStartedLFs())
+	}
+	if got := len(grown.Accuracies()); got != vm.NumLFs() {
+		t.Fatalf("fitted %d accuracies for %d LFs", got, vm.NumLFs())
+	}
+	// A donor with a different class count must be ignored.
+	m := NewMeTaL()
+	m.WarmStart(prev)
+	if err := m.Fit(vm, k+1); err != nil {
+		t.Fatalf("fit with mismatched donor: %v", err)
+	}
+	if m.WarmStartedLFs() != 0 {
+		t.Fatalf("mismatched donor warm-started %d LFs, want 0", m.WarmStartedLFs())
+	}
+}
+
+// vmSplit regenerates the deterministic split synthVoteMatrix used for a
+// seed, so tests can rebuild sub-matrices over the same examples.
+func vmSplit(t *testing.T, seed int64, n int) []*dataset.Example {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	vocab := []string{"alpha", "beta", "gamma", "delta", "cash", "free",
+		"prize", "song", "winner", "channel", "stock", "goal"}
+	split := make([]*dataset.Example, n)
+	for i := range split {
+		var words []string
+		for w := 0; w < 3+rng.Intn(9); w++ {
+			words = append(words, vocab[rng.Intn(len(vocab))])
+		}
+		e := &dataset.Example{ID: i, Text: strings.Join(words, " "), E1Pos: -1, E2Pos: -1}
+		e.EnsureTokens()
+		split[i] = e
+	}
+	return split
+}

@@ -4,38 +4,101 @@ import (
 	"fmt"
 
 	"datasculpt/internal/dataset"
+	"datasculpt/internal/par"
 )
 
-// VoteMatrix holds the votes of m label functions over n examples in
-// column-major int8 storage (class indices are tiny; Agnews at full scale
-// is 96k × ~300 LFs, which fits in ~29MB this way).
+// VoteMatrix holds the votes of m label functions over n examples. Two
+// representations are kept per LF column: a dense int8 slice (class
+// indices are tiny; Agnews at full scale is 96k × ~300 LFs, which fits in
+// ~29MB this way) for random access, and the sparse active list — the
+// ascending document ids the LF votes on, with their votes — which is
+// what keyword LFs naturally produce and what makes every statistic and
+// the label model's E-step O(nnz) instead of O(n·m).
+//
+// The matrix is append-only: AppendLFs grows it by evaluating only the
+// new columns, which is how the pipeline's evaluator amortizes matrix
+// construction across iterations (the LF set only ever grows during a
+// run).
 type VoteMatrix struct {
 	n, m  int
 	cols  [][]int8
 	names []string
+	// active[j] lists the ascending doc ids where cols[j] != Abstain;
+	// activeVotes[j] holds the aligned votes.
+	active      [][]int32
+	activeVotes [][]int8
 }
 
-// BuildVoteMatrix evaluates every LF over the indexed split.
+// NewVoteMatrix returns an empty (zero-LF) matrix over n examples; grow
+// it with AppendLFs.
+func NewVoteMatrix(n int) *VoteMatrix {
+	return &VoteMatrix{n: n}
+}
+
+// BuildVoteMatrix evaluates every LF over the indexed split sequentially.
+// It is BuildVoteMatrixParallel with one worker.
 func BuildVoteMatrix(ix *Index, lfs []LabelFunction) *VoteMatrix {
-	vm := &VoteMatrix{
-		n:     ix.Size(),
-		m:     len(lfs),
-		cols:  make([][]int8, len(lfs)),
-		names: make([]string, len(lfs)),
+	return BuildVoteMatrixParallel(ix, lfs, 1)
+}
+
+// BuildVoteMatrixParallel evaluates every LF over the indexed split,
+// fanning column evaluation across at most workers goroutines (<= 1 is
+// sequential; columns are independent, so the result is identical for
+// every worker count).
+func BuildVoteMatrixParallel(ix *Index, lfs []LabelFunction, workers int) *VoteMatrix {
+	vm := NewVoteMatrix(ix.Size())
+	vm.AppendLFs(ix, lfs, workers)
+	return vm
+}
+
+// AppendLFs appends one evaluated column per LF, fanning evaluation over
+// at most workers goroutines. Existing columns are untouched — the
+// incremental path behind the pipeline's per-iteration re-aggregation.
+// It returns the number of columns added.
+func (vm *VoteMatrix) AppendLFs(ix *Index, lfs []LabelFunction, workers int) int {
+	if ix.Size() != vm.n {
+		panic(fmt.Sprintf("lf: appending over a split of %d examples to a %d-example matrix", ix.Size(), vm.n))
 	}
+	if len(lfs) == 0 {
+		return 0
+	}
+	base := vm.m
+	vm.cols = append(vm.cols, make([][]int8, len(lfs))...)
+	vm.names = append(vm.names, make([]string, len(lfs))...)
+	vm.active = append(vm.active, make([][]int32, len(lfs))...)
+	vm.activeVotes = append(vm.activeVotes, make([][]int8, len(lfs))...)
 	split := ix.Split()
-	for j, f := range lfs {
+	// Dynamic scheduling with a small grain: column costs are wildly
+	// uneven (a rare keyword touches a handful of postings, a generic
+	// one thousands). Each index writes only its own column slots.
+	par.For(workers, len(lfs), 2, func(t int) {
+		f := lfs[t]
 		col := make([]int8, vm.n)
 		for i := range col {
 			col[i] = Abstain
 		}
-		for _, id := range ix.ActiveDocs(f) {
-			col[id] = int8(f.Apply(split[id]))
+		// ActiveDocs may return a posting list owned by the index, so the
+		// kept ids are copied rather than filtered in place.
+		ids := ix.ActiveDocs(f)
+		votes := make([]int8, 0, len(ids))
+		kept := make([]int32, 0, len(ids))
+		for _, id := range ids {
+			v := int8(f.Apply(split[id]))
+			if v == Abstain {
+				continue // defensive: ActiveDocs should pre-filter
+			}
+			col[id] = v
+			kept = append(kept, id)
+			votes = append(votes, v)
 		}
+		j := base + t
 		vm.cols[j] = col
 		vm.names[j] = f.Name()
-	}
-	return vm
+		vm.active[j] = kept
+		vm.activeVotes[j] = votes
+	})
+	vm.m += len(lfs)
+	return len(lfs)
 }
 
 // NumExamples returns n.
@@ -59,19 +122,103 @@ func (vm *VoteMatrix) Row(i int, dst []int) []int {
 	return dst
 }
 
+// Active returns LF j's sparse column: the ascending document ids it
+// votes on and the aligned votes (shared storage; callers must not
+// mutate). This is the O(active) view the label models iterate.
+func (vm *VoteMatrix) Active(j int) (ids []int32, votes []int8) {
+	return vm.active[j], vm.activeVotes[j]
+}
+
 // Coverage returns the fraction of examples on which LF j is active —
 // the "LF Cov." statistic of Table 2.
 func (vm *VoteMatrix) Coverage(j int) float64 {
 	if vm.n == 0 {
 		return 0
 	}
-	active := 0
-	for _, v := range vm.cols[j] {
-		if v != Abstain {
-			active++
+	return float64(len(vm.active[j])) / float64(vm.n)
+}
+
+// Stats is the single-pass summary of a vote matrix: the Table 2
+// aggregate statistics plus the covered-example count, all computed in
+// one O(nnz) sweep over the sparse columns instead of the repeated
+// O(n·m) dense scans the per-statistic accessors imply.
+type Stats struct {
+	// MeanCoverage averages per-LF coverage ("LF Cov.").
+	MeanCoverage float64
+	// TotalCoverage is the fraction of examples covered by any LF
+	// ("Total Cov."); CoveredCount is the absolute number.
+	TotalCoverage float64
+	CoveredCount  int
+	// MeanLFAccuracy averages LF accuracy over LFs active on at least
+	// one labeled example ("LF Acc."); AccuracyKnown is false when gold
+	// was nil or no LF qualifies.
+	MeanLFAccuracy float64
+	AccuracyKnown  bool
+}
+
+// ComputeStats sweeps the sparse columns once. gold may be nil (accuracy
+// statistics are skipped); workers bounds the per-LF fan-out (<= 1 is
+// sequential; per-LF partials are written to per-index slots and reduced
+// in column order, so the result is identical for every worker count).
+func (vm *VoteMatrix) ComputeStats(gold []int, workers int) Stats {
+	var s Stats
+	if vm.n == 0 {
+		return s
+	}
+	if gold != nil && len(gold) != vm.n {
+		panic(fmt.Sprintf("lf: gold length %d != examples %d", len(gold), vm.n))
+	}
+	type lfStat struct {
+		active int // docs voted on
+		graded int // of those, with known gold
+		correct int
+	}
+	perLF := make([]lfStat, vm.m)
+	par.Chunks(workers, vm.m, func(lo, hi int) {
+		for j := lo; j < hi; j++ {
+			st := lfStat{active: len(vm.active[j])}
+			if gold != nil {
+				for t, id := range vm.active[j] {
+					if gold[id] == dataset.NoLabel {
+						continue
+					}
+					st.graded++
+					if int(vm.activeVotes[j][t]) == gold[id] {
+						st.correct++
+					}
+				}
+			}
+			perLF[j] = st
+		}
+	})
+	// Reductions in column order: identical for every worker count.
+	covered := make([]bool, vm.n)
+	var covSum, accSum float64
+	graded := 0
+	for j, st := range perLF {
+		covSum += float64(st.active) / float64(vm.n)
+		if st.graded > 0 {
+			accSum += float64(st.correct) / float64(st.graded)
+			graded++
+		}
+		for _, id := range vm.active[j] {
+			covered[id] = true
 		}
 	}
-	return float64(active) / float64(vm.n)
+	for _, b := range covered {
+		if b {
+			s.CoveredCount++
+		}
+	}
+	if vm.m > 0 {
+		s.MeanCoverage = covSum / float64(vm.m)
+	}
+	s.TotalCoverage = float64(s.CoveredCount) / float64(vm.n)
+	if graded > 0 {
+		s.MeanLFAccuracy = accSum / float64(graded)
+		s.AccuracyKnown = true
+	}
+	return s
 }
 
 // MeanCoverage averages Coverage over all LFs.
@@ -79,21 +226,15 @@ func (vm *VoteMatrix) MeanCoverage() float64 {
 	if vm.m == 0 {
 		return 0
 	}
-	var s float64
-	for j := 0; j < vm.m; j++ {
-		s += vm.Coverage(j)
-	}
-	return s / float64(vm.m)
+	return vm.ComputeStats(nil, 1).MeanCoverage
 }
 
 // Covered reports, per example, whether at least one LF is active.
 func (vm *VoteMatrix) Covered() []bool {
 	out := make([]bool, vm.n)
 	for j := 0; j < vm.m; j++ {
-		for i, v := range vm.cols[j] {
-			if v != Abstain {
-				out[i] = true
-			}
+		for _, id := range vm.active[j] {
+			out[id] = true
 		}
 	}
 	return out
@@ -105,14 +246,7 @@ func (vm *VoteMatrix) TotalCoverage() float64 {
 	if vm.n == 0 {
 		return 0
 	}
-	covered := vm.Covered()
-	c := 0
-	for _, b := range covered {
-		if b {
-			c++
-		}
-	}
-	return float64(c) / float64(vm.n)
+	return vm.ComputeStats(nil, 1).TotalCoverage
 }
 
 // LFAccuracy returns the accuracy of LF j on the examples where it is
@@ -123,12 +257,12 @@ func (vm *VoteMatrix) LFAccuracy(j int, gold []int) (acc float64, active int) {
 		panic(fmt.Sprintf("lf: gold length %d != examples %d", len(gold), vm.n))
 	}
 	correct := 0
-	for i, v := range vm.cols[j] {
-		if v == Abstain || gold[i] == dataset.NoLabel {
+	for t, id := range vm.active[j] {
+		if gold[id] == dataset.NoLabel {
 			continue
 		}
 		active++
-		if int(v) == gold[i] {
+		if int(vm.activeVotes[j][t]) == gold[id] {
 			correct++
 		}
 	}
@@ -142,20 +276,8 @@ func (vm *VoteMatrix) LFAccuracy(j int, gold []int) (acc float64, active int) {
 // least one labeled example — the "LF Acc." statistic of Table 2. The
 // boolean result is false when no LF qualifies (e.g. an unlabeled split).
 func (vm *VoteMatrix) MeanLFAccuracy(gold []int) (float64, bool) {
-	var s float64
-	count := 0
-	for j := 0; j < vm.m; j++ {
-		acc, active := vm.LFAccuracy(j, gold)
-		if active == 0 {
-			continue
-		}
-		s += acc
-		count++
-	}
-	if count == 0 {
-		return 0, false
-	}
-	return s / float64(count), true
+	s := vm.ComputeStats(gold, 1)
+	return s.MeanLFAccuracy, s.AccuracyKnown
 }
 
 // MajorityVotes returns, per example, the plurality class among active

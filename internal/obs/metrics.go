@@ -147,6 +147,10 @@ var (
 	TokenBuckets = ExpBuckets(16, 2, 12)
 	// SmallCountBuckets covers per-iteration counts like LFs kept.
 	SmallCountBuckets = []float64{0, 1, 2, 3, 4, 6, 8, 12, 16, 24, 32}
+	// IterationBuckets covers optimizer iteration counts (EM runs up to
+	// MaxIter = 100); the low end resolves warm-started fits that
+	// converge almost immediately.
+	IterationBuckets = []float64{1, 2, 3, 5, 8, 12, 20, 32, 50, 75, 100}
 )
 
 // ExpBuckets returns n bounds starting at start, multiplying by factor.

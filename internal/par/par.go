@@ -1,0 +1,122 @@
+// Package par provides the deterministic fork-join primitives behind the
+// evaluation engine's parallel paths (vote-matrix column evaluation, the
+// label model's E-step, batch featurization and prediction).
+//
+// Every helper runs a body over an index range with a bounded number of
+// goroutines and waits for completion. Determinism is contractual rather
+// than accidental: the body must only write state owned by its own index
+// (or index range), so varying the worker count changes *which goroutine*
+// computes an index but never the per-index arithmetic. Reductions that
+// sum floating-point partials must therefore be performed by the caller
+// in a fixed order (per-index or per-fixed-size-block), never in
+// completion order — see labelmodel.MeTaL's blocked log-likelihood
+// reduction for the pattern.
+package par
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// DefaultWorkers is the degree of parallelism the configuration layer
+// resolves "use everything" to: runtime.GOMAXPROCS(0), the scheduler's
+// own bound.
+func DefaultWorkers() int { return runtime.GOMAXPROCS(0) }
+
+// Normalize clamps a configured worker count to [1, n]. Non-positive
+// means sequential: the zero value of a Workers field must reproduce the
+// exact legacy single-goroutine path, so opting into parallelism is
+// always explicit (core.Config.Normalize resolves its Parallelism
+// default to DefaultWorkers before plumbing it down).
+func Normalize(workers, n int) int {
+	if workers > n {
+		workers = n
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	return workers
+}
+
+// Chunks splits [0, n) into at most workers contiguous chunks and runs
+// f(lo, hi) for each, concurrently when workers > 1. With workers <= 1
+// (or n <= 1) it degenerates to a single inline f(0, n) call on the
+// calling goroutine — the exact legacy sequential path, with zero
+// goroutine or synchronization overhead.
+//
+// Chunk boundaries are a function of (workers, n) only, so a caller that
+// accumulates one partial per chunk index and reduces them in chunk
+// order gets identical results for a fixed worker count; callers that
+// need results independent of the worker count must reduce per index or
+// per fixed-size block instead.
+func Chunks(workers, n int, f func(lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	workers = Normalize(workers, n)
+	if workers == 1 {
+		f(0, n)
+		return
+	}
+	size, rem := n/workers, n%workers
+	var wg sync.WaitGroup
+	lo := 0
+	for w := 0; w < workers; w++ {
+		hi := lo + size
+		if w < rem {
+			hi++
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			f(lo, hi)
+		}(lo, hi)
+		lo = hi
+	}
+	wg.Wait()
+}
+
+// For runs f(i) for every i in [0, n) across at most workers goroutines,
+// handing out indices dynamically in blocks of grain (grain <= 0 selects
+// 1). Dynamic scheduling balances bodies with very uneven costs — vote
+// columns range from single-posting keywords to full-split scans — at
+// the price of one atomic fetch per block. f must only write state owned
+// by index i.
+func For(workers, n, grain int, f func(i int)) {
+	if n <= 0 {
+		return
+	}
+	if grain <= 0 {
+		grain = 1
+	}
+	workers = Normalize(workers, n)
+	if workers == 1 {
+		for i := 0; i < n; i++ {
+			f(i)
+		}
+		return
+	}
+	var cursor atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				lo := int(cursor.Add(int64(grain))) - grain
+				if lo >= n {
+					return
+				}
+				hi := lo + grain
+				if hi > n {
+					hi = n
+				}
+				for i := lo; i < hi; i++ {
+					f(i)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}

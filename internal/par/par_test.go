@@ -1,0 +1,95 @@
+package par
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+func TestChunksCoversEveryIndexOnce(t *testing.T) {
+	for _, workers := range []int{0, 1, 2, 3, 7, 64} {
+		for _, n := range []int{0, 1, 2, 5, 100, 1023} {
+			hits := make([]atomic.Int32, n)
+			Chunks(workers, n, func(lo, hi int) {
+				for i := lo; i < hi; i++ {
+					hits[i].Add(1)
+				}
+			})
+			for i := range hits {
+				if got := hits[i].Load(); got != 1 {
+					t.Fatalf("workers=%d n=%d: index %d visited %d times", workers, n, i, got)
+				}
+			}
+		}
+	}
+}
+
+func TestForCoversEveryIndexOnce(t *testing.T) {
+	for _, workers := range []int{0, 1, 4, 16} {
+		for _, grain := range []int{0, 1, 3, 64} {
+			for _, n := range []int{0, 1, 7, 501} {
+				hits := make([]atomic.Int32, n)
+				For(workers, n, grain, func(i int) { hits[i].Add(1) })
+				for i := range hits {
+					if got := hits[i].Load(); got != 1 {
+						t.Fatalf("workers=%d grain=%d n=%d: index %d visited %d times",
+							workers, grain, n, i, got)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestChunksDeterministicWrites is the contract the evaluation engine
+// relies on: per-index writes produce identical output for every worker
+// count.
+func TestChunksDeterministicWrites(t *testing.T) {
+	const n = 4096
+	ref := make([]float64, n)
+	Chunks(1, n, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			ref[i] = float64(i) * 1.25
+		}
+	})
+	for _, workers := range []int{2, 5, 32} {
+		out := make([]float64, n)
+		Chunks(workers, n, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				out[i] = float64(i) * 1.25
+			}
+		})
+		for i := range out {
+			if out[i] != ref[i] {
+				t.Fatalf("workers=%d: out[%d]=%v != ref %v", workers, i, out[i], ref[i])
+			}
+		}
+	}
+}
+
+func TestNormalize(t *testing.T) {
+	if got := Normalize(0, 1000); got != 1 {
+		t.Errorf("Normalize(0)=%d, want sequential 1", got)
+	}
+	if got := Normalize(DefaultWorkers(), 1000); got != DefaultWorkers() {
+		t.Errorf("Normalize(DefaultWorkers)=%d, want %d", got, DefaultWorkers())
+	}
+	if got := Normalize(8, 3); got != 3 {
+		t.Errorf("Normalize(8, 3)=%d, want 3", got)
+	}
+	if got := Normalize(-2, 0); got != 1 {
+		t.Errorf("Normalize(-2, 0)=%d, want 1", got)
+	}
+}
+
+func TestChunksSequentialRunsInline(t *testing.T) {
+	calls := 0
+	Chunks(1, 10, func(lo, hi int) {
+		calls++
+		if lo != 0 || hi != 10 {
+			t.Fatalf("sequential chunk [%d,%d), want [0,10)", lo, hi)
+		}
+	})
+	if calls != 1 {
+		t.Fatalf("sequential path made %d calls, want 1", calls)
+	}
+}

@@ -2,8 +2,9 @@ package textproc
 
 import (
 	"fmt"
-	"hash/fnv"
 	"math"
+
+	"datasculpt/internal/par"
 )
 
 // DefaultFeatureDim is the default width of hashed feature vectors. 2^13
@@ -17,6 +18,10 @@ const DefaultFeatureDim = 8192
 // are deterministic: the same corpus always yields the same vectors.
 type Featurizer struct {
 	Dim int
+	// Workers bounds the goroutines TransformAll fans out over (<= 1
+	// sequential; every worker count yields identical vectors since each
+	// document is transformed independently).
+	Workers int
 	// df maps hashed bucket -> number of fitted documents containing at
 	// least one term hashing to the bucket.
 	df   []int32
@@ -33,12 +38,23 @@ func NewFeaturizer(dim int) *Featurizer {
 	return &Featurizer{Dim: dim, df: make([]int32, dim)}
 }
 
+// FNV-1a 32-bit constants (hash/fnv's, inlined so hashing a term costs
+// zero allocations — the hash.Hash32 interface value and its internal
+// state otherwise escape on every call, and hashTerm runs once per token
+// per document across Fit, Transform, and DocFreq).
+const (
+	fnvOffset32 = 2166136261
+	fnvPrime32  = 16777619
+)
+
 // hashTerm maps a term to a (bucket, sign) pair with FNV-1a. The sign bit
 // implements the standard hashing-trick collision mitigation.
 func (f *Featurizer) hashTerm(term string) (int32, float32) {
-	h := fnv.New32a()
-	h.Write([]byte(term))
-	sum := h.Sum32()
+	sum := uint32(fnvOffset32)
+	for i := 0; i < len(term); i++ {
+		sum ^= uint32(term[i])
+		sum *= fnvPrime32
+	}
 	bucket := int32(sum % uint32(f.Dim))
 	sign := float32(1)
 	if sum&0x80000000 != 0 {
@@ -110,12 +126,15 @@ func (f *Featurizer) Transform(tokens []string) *SparseVector {
 	return v
 }
 
-// TransformAll maps Transform over a corpus.
+// TransformAll maps Transform over a corpus, sharding documents across
+// the configured Workers (identical output at any worker count).
 func (f *Featurizer) TransformAll(corpus [][]string) []*SparseVector {
 	out := make([]*SparseVector, len(corpus))
-	for i, tokens := range corpus {
-		out[i] = f.Transform(tokens)
-	}
+	par.Chunks(f.Workers, len(corpus), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			out[i] = f.Transform(corpus[i])
+		}
+	})
 	return out
 }
 
