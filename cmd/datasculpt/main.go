@@ -19,6 +19,7 @@ import (
 	"os/signal"
 	"sort"
 
+	"datasculpt/internal/bundle"
 	"datasculpt/internal/core"
 	"datasculpt/internal/dataset"
 	"datasculpt/internal/experiment"
@@ -42,6 +43,7 @@ func main() {
 	showLFs := flag.Bool("lfs", false, "print the generated LF set with per-LF statistics")
 	analyze := flag.Bool("analyze", false, "print the Snorkel-style LF analysis table (coverage/overlap/conflict)")
 	saveLFs := flag.String("save-lfs", "", "write the final LF set as JSON to this path")
+	saveBundle := flag.String("save-bundle", "", "write the full trained model bundle (LFs, label model, featurizer, end model, provenance) to this path, servable with datasculptd")
 	revise := flag.Bool("revise", false, "enable the counterexample-revision pass after the main loop")
 	checkpoint := flag.String("checkpoint", "", "append each completed seed to this JSONL file (resumable with -resume)")
 	resume := flag.String("resume", "", "skip seeds already recorded in this checkpoint file (may equal -checkpoint; assumes the same flags)")
@@ -70,7 +72,7 @@ func main() {
 		dataset: *dsName, variant: *variant, model: *model, sampler: *smp,
 		labelModel: *labelModel, iterations: *iterations, seeds: *seeds,
 		scale: *scale, noAccuracy: *noAccuracy, noRedundancy: *noRedundancy,
-		showLFs: *showLFs, analyze: *analyze, saveLFs: *saveLFs, revise: *revise,
+		showLFs: *showLFs, analyze: *analyze, saveLFs: *saveLFs, saveBundle: *saveBundle, revise: *revise,
 		checkpoint: *checkpoint, resume: *resume, maxFailedIters: *maxFailedIters,
 		parallelism: *parallelism,
 		obs:         o,
@@ -93,7 +95,7 @@ type runOptions struct {
 	scale                                        float64
 	noAccuracy, noRedundancy                     bool
 	showLFs, analyze, revise                     bool
-	saveLFs                                      string
+	saveLFs, saveBundle                          string
 	checkpoint, resume                           string
 	maxFailedIters                               int
 	parallelism                                  int
@@ -143,6 +145,7 @@ func run(ctx context.Context, o runOptions) error {
 	// restored seeds carry statistics only (LF sets are not
 	// checkpointed), so -lfs/-analyze/-save-lfs report from it.
 	var finalComputed *core.Result
+	var finalCfg core.Config
 	var cacheStats llm.CacheStats
 	for s := 1; s <= seeds; s++ {
 		if cr, ok := restored[s]; ok {
@@ -193,6 +196,7 @@ func run(ctx context.Context, o runOptions) error {
 		cacheStats.Add(cache.Stats())
 		results = append(results, res)
 		finalComputed = res
+		finalCfg = cfg
 		fmt.Printf("seed %d: %s\n", s, res)
 		if ckpt != nil {
 			rec := experiment.CellRecord{Grid: cliGridTitle, Method: variant, Dataset: dsName, Seed: s, Result: experiment.NewCellResult(res)}
@@ -236,9 +240,9 @@ func run(ctx context.Context, o runOptions) error {
 		cacheStats, totalCost, seeds)
 
 	final := finalComputed
-	if (o.saveLFs != "" || o.analyze || showLFs) && final == nil {
-		fmt.Println("\nnote: every seed was restored from the checkpoint; LF sets are not" +
-			" checkpointed, so -save-lfs, -analyze and -lfs have nothing to report")
+	if (o.saveLFs != "" || o.saveBundle != "" || o.analyze || showLFs) && final == nil {
+		fmt.Println("\nnote: every seed was restored from the checkpoint; trained artifacts are not" +
+			" checkpointed, so -save-lfs, -save-bundle, -analyze and -lfs have nothing to report")
 	}
 	if final == nil {
 		return nil
@@ -252,6 +256,18 @@ func run(ctx context.Context, o runOptions) error {
 			return fmt.Errorf("writing %s: %w", o.saveLFs, err)
 		}
 		fmt.Printf("\nwrote %d LFs to %s\n", len(final.LFs), o.saveLFs)
+	}
+	if o.saveBundle != "" {
+		b, err := bundle.New(last, finalCfg, final)
+		if err != nil {
+			return err
+		}
+		if err := bundle.Save(o.saveBundle, b); err != nil {
+			return err
+		}
+		fmt.Printf("\nwrote model bundle (%d LFs, %s %.3f) to %s — serve it with:"+
+			"\n  datasculptd -bundle %s\n",
+			len(b.LFs), b.Dataset.MetricName, b.Provenance.EndMetric, o.saveBundle, o.saveBundle)
 	}
 	if o.analyze {
 		ix := lf.NewIndex(last.Train)

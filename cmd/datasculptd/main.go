@@ -1,0 +1,130 @@
+// Command datasculptd serves a trained model bundle over HTTP: load the
+// artifact a `datasculpt -save-bundle` run produced, and label texts
+// online through the same code path — bit-identical results included —
+// that the offline evaluator uses.
+//
+//	datasculpt -dataset youtube -save-bundle model.json
+//	datasculptd -bundle model.json -addr :8080
+//	curl -s localhost:8080/v1/label -d '{"text": "subscribe to my channel!", "explain": true}'
+//
+// Incoming texts are coalesced into micro-batches (-max-batch, -max-wait)
+// so concurrent load amortizes the parallel featurize/predict sweep
+// instead of paying it per request. /healthz reports liveness plus the
+// served bundle's provenance; /metrics exposes the serve_* counters and
+// histograms in Prometheus text format.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"datasculpt/internal/bundle"
+	"datasculpt/internal/obs"
+	"datasculpt/internal/serve"
+)
+
+func main() {
+	bundlePath := flag.String("bundle", "", "model bundle to serve (required; produced by datasculpt -save-bundle)")
+	addr := flag.String("addr", ":8080", "listen address")
+	maxBatch := flag.Int("max-batch", 64, "max texts per micro-batch")
+	maxWait := flag.Duration("max-wait", 2*time.Millisecond, "max time the first text of a batch waits for company")
+	parallelism := flag.Int("parallelism", 0, "featurize/predict worker goroutines per batch (0 = GOMAXPROCS, 1 = sequential; results identical)")
+	logLevel := flag.String("log-level", "info", "log verbosity: debug, info, warn, error")
+	traceOut := flag.String("trace-out", "", "stream one JSON span per request/batch to this file")
+	metricsOut := flag.String("metrics-out", "", "write final metrics here on exit (Prometheus text; JSON if the path ends in .json)")
+	debugAddr := flag.String("debug-addr", "", "serve expvar (/debug/vars) and pprof (/debug/pprof/) on this address")
+	flag.Parse()
+
+	if err := run(*bundlePath, *addr, *maxBatch, *maxWait, *parallelism,
+		*logLevel, *traceOut, *metricsOut, *debugAddr); err != nil {
+		fmt.Fprintln(os.Stderr, "datasculptd:", err)
+		os.Exit(1)
+	}
+}
+
+func run(bundlePath, addr string, maxBatch int, maxWait time.Duration, parallelism int,
+	logLevel, traceOut, metricsOut, debugAddr string) (err error) {
+	if bundlePath == "" {
+		return errors.New("-bundle is required")
+	}
+	o, cleanup, err := obs.Setup(obs.SetupConfig{
+		LogLevel:    logLevel,
+		TracePath:   traceOut,
+		MetricsPath: metricsOut,
+		DebugAddr:   debugAddr,
+	})
+	if err != nil {
+		return err
+	}
+	// The cleanup writes -metrics-out and flushes the trace sink, so it
+	// must run (and be checked) even when serving failed.
+	defer func() {
+		if cerr := cleanup(); err == nil {
+			err = cerr
+		}
+	}()
+
+	b, err := bundle.Load(bundlePath)
+	if err != nil {
+		return err
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	o.Logger.Info("serving bundle",
+		"bundle", bundlePath,
+		"dataset", b.Dataset.Name,
+		"method", b.Provenance.Method,
+		"lfs", len(b.LFs),
+		"config_hash", b.Provenance.ConfigHash,
+		"addr", ln.Addr().String())
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	return serveBundle(ctx, ln, b, o, serve.Options{
+		MaxBatch: maxBatch,
+		MaxWait:  maxWait,
+		Workers:  parallelism,
+	})
+}
+
+// serveBundle serves b on ln until ctx is cancelled, then shuts down
+// gracefully: stop accepting connections, let in-flight requests finish,
+// drain the coalescer queue.
+func serveBundle(ctx context.Context, ln net.Listener, b *bundle.Bundle, o *obs.Obs, opts serve.Options) error {
+	srv, err := serve.New(b, o, opts)
+	if err != nil {
+		ln.Close()
+		return err
+	}
+	httpSrv := &http.Server{Handler: srv.Handler()}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- httpSrv.Serve(ln) }()
+
+	select {
+	case err := <-serveErr:
+		srv.Close()
+		return err
+	case <-ctx.Done():
+	}
+	o.Logger.Info("shutting down")
+	shutCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := httpSrv.Shutdown(shutCtx); err != nil {
+		srv.Close()
+		return err
+	}
+	srv.Close()
+	if err := <-serveErr; !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	return nil
+}

@@ -1,0 +1,129 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"net"
+	"net/http"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"datasculpt/internal/bundle"
+	"datasculpt/internal/core"
+	"datasculpt/internal/dataset"
+	"datasculpt/internal/obs"
+	"datasculpt/internal/serve"
+)
+
+// trainBundle produces a small servable bundle file, the way a
+// `datasculpt -save-bundle` run would.
+func trainBundle(t *testing.T) string {
+	t.Helper()
+	d, err := dataset.Load("youtube", 11, 0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := core.DefaultConfig(core.VariantBase)
+	cfg.Iterations = 10
+	cfg.Seed = 11
+	cfg.FeatureDim = 2048
+	cfg.EndModel.Epochs = 3
+	res, err := core.Run(d, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := bundle.New(d, cfg, res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "model.json")
+	if err := bundle.Save(path, b); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// TestDaemonEndToEnd boots the daemon's serve loop on a loopback
+// listener, labels through it over real HTTP, and shuts it down
+// gracefully the way a signal would.
+func TestDaemonEndToEnd(t *testing.T) {
+	path := trainBundle(t)
+	b, err := bundle.Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		done <- serveBundle(ctx, ln, b, obs.Default(), serve.Options{Workers: 2})
+	}()
+	base := "http://" + ln.Addr().String()
+
+	resp, err := http.Post(base+"/v1/label", "application/json",
+		strings.NewReader(`{"texts": ["subscribe to my channel", "great song"], "explain": true}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out struct {
+		Predictions []serve.Prediction `json:"predictions"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || len(out.Predictions) != 2 {
+		t.Fatalf("status %d, %d predictions", resp.StatusCode, len(out.Predictions))
+	}
+	for _, p := range out.Predictions {
+		if len(p.Proba) != 2 || p.Class == "" {
+			t.Errorf("prediction %+v", p)
+		}
+	}
+
+	resp, err = http.Get(base + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("healthz status %d", resp.StatusCode)
+	}
+
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("serve loop: %v", err)
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("graceful shutdown timed out")
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run("", ":0", 0, 0, 0, "warn", "", "", ""); err == nil {
+		t.Error("missing -bundle accepted")
+	}
+	if err := run(filepath.Join(t.TempDir(), "nope.json"), ":0", 0, 0, 0, "warn", "", "", ""); err == nil {
+		t.Error("nonexistent bundle accepted")
+	}
+	if err := run(trainBundle(t), ":0", 0, 0, 0, "not-a-level", "", "", ""); err == nil {
+		t.Error("bad log level accepted")
+	}
+}
+
+func TestServeBundleRejectsInvalid(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := serveBundle(context.Background(), ln, &bundle.Bundle{}, obs.Default(), serve.Options{}); err == nil {
+		t.Error("empty bundle accepted")
+	}
+}

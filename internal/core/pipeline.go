@@ -614,6 +614,9 @@ func (ev *evaluator) evaluate(lfs []lf.LabelFunction) (*Result, error) {
 		TotalCoverage: stats.TotalCoverage,
 		MetricName:    ev.d.MetricName(),
 		LFs:           lfs,
+		// prevMetal is the fit trainProba just ran for this same LF set
+		// (nil for other label models or an uncovered matrix).
+		Artifacts: &Artifacts{Featurizer: ev.feat, LabelModel: ev.prevMetal},
 	}
 	if ev.d.TrainLabeled {
 		res.LFAccuracy, res.LFAccuracyKnown = stats.MeanLFAccuracy, stats.AccuracyKnown
@@ -638,6 +641,7 @@ func (ev *evaluator) evaluate(lfs []lf.LabelFunction) (*Result, error) {
 			return nil, fmt.Errorf("core: training end model: %w", err)
 		}
 		m.SetParallelism(ev.workers)
+		res.Artifacts.EndModel = m
 		testX := ev.feat.TransformAll(dataset.FeatureCorpus(ev.d.Test))
 		pred = m.Predict(testX)
 	}

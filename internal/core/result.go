@@ -3,7 +3,10 @@ package core
 import (
 	"fmt"
 
+	"datasculpt/internal/endmodel"
+	"datasculpt/internal/labelmodel"
 	"datasculpt/internal/lf"
+	"datasculpt/internal/textproc"
 )
 
 // Result collects everything Table 2 reports about one run, plus the
@@ -48,6 +51,26 @@ type Result struct {
 
 	// LFs is the final label-function set.
 	LFs []lf.LabelFunction
+
+	// Artifacts references the trained components behind EndMetric — the
+	// pieces a model bundle snapshots for serving. Always non-nil after a
+	// successful evaluation (individual fields may be nil; see Artifacts).
+	Artifacts *Artifacts
+}
+
+// Artifacts bundles the trained components a run produces alongside its
+// statistics: everything needed to answer labeling requests later without
+// retraining. internal/bundle serializes them; cmd/datasculptd serves
+// them.
+type Artifacts struct {
+	// Featurizer is the fitted hashed-TF-IDF featurizer (never nil).
+	Featurizer *textproc.Featurizer
+	// EndModel is the trained logistic regression, or nil when no train
+	// example was covered (the degenerate default-class-only run).
+	EndModel *endmodel.LogisticRegression
+	// LabelModel is the final fitted MeTaL, or nil when another label
+	// model was configured or no fit happened (empty/uncovered LF set).
+	LabelModel *labelmodel.MeTaL
 }
 
 // TotalTokens returns prompt+completion tokens.

@@ -67,6 +67,34 @@ type LogisticRegression struct {
 // SetParallelism sets the worker bound for Predict/PredictProbaAll.
 func (m *LogisticRegression) SetParallelism(workers int) { m.workers = workers }
 
+// Validate checks the structural invariants of a model (trained,
+// deserialized, or hand-assembled): a consistent K×Dim shape and finite
+// parameters. Bundle loading calls it before serving the model.
+func (m *LogisticRegression) Validate() error {
+	if m.Dim <= 0 || m.K < 2 {
+		return fmt.Errorf("endmodel: invalid shape %dx%d", m.K, m.Dim)
+	}
+	if len(m.W) != m.K || len(m.B) != m.K {
+		return fmt.Errorf("endmodel: %d weight rows and %d biases for %d classes", len(m.W), len(m.B), m.K)
+	}
+	for c, wc := range m.W {
+		if len(wc) != m.Dim {
+			return fmt.Errorf("endmodel: class %d has %d weights for dimension %d", c, len(wc), m.Dim)
+		}
+		for _, w := range wc {
+			if math.IsNaN(w) || math.IsInf(w, 0) {
+				return fmt.Errorf("endmodel: class %d has a non-finite weight", c)
+			}
+		}
+	}
+	for c, b := range m.B {
+		if math.IsNaN(b) || math.IsInf(b, 0) {
+			return fmt.Errorf("endmodel: class %d has a non-finite bias", c)
+		}
+	}
+	return nil
+}
+
 // Train fits the model on sparse features X with soft targets Y (each row
 // a probability vector over k classes) using mini-batch SGD with
 // per-epoch learning-rate decay. An optional weights slice scales each

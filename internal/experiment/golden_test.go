@@ -1,0 +1,145 @@
+package experiment
+
+import (
+	"errors"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// -update regenerates the committed golden files from current rendering
+// output: go test ./internal/experiment/ -run Golden -update
+var update = flag.Bool("update", false, "rewrite golden files with current render output")
+
+// fixtureMainGrid builds a deterministic Table 2-style grid with the
+// paper's method rows, hand-written plausible numbers, one missing cell
+// and one error cell — so the golden files pin every rendering branch
+// ("?", "-", AVG skipping).
+func fixtureMainGrid() *Grid {
+	g := newGrid("Table 2: Performance comparison (fixture)", MainMethods(), []string{"youtube", "sms", "spouse"})
+	type row struct {
+		method string
+		nLFs   float64
+		acc    float64
+		cov    float64
+		total  float64
+		em     float64
+		tokens float64
+		cost   float64
+	}
+	rows := []row{
+		{MethodWrench, 10, 0.852, 0.131, 0.812, 0.871, 0, 0},
+		{MethodScriptorium, 7, 0.701, 0.205, 0.851, 0.792, 21000, 0.043},
+		{MethodPromptedLF, 1, 0.841, 1.000, 1.000, 0.902, 2400000, 4.83},
+		{MethodBase, 31, 0.817, 0.042, 0.752, 0.883, 39000, 0.078},
+		{MethodCoT, 29, 0.823, 0.045, 0.741, 0.879, 52000, 0.104},
+		{MethodSC, 47, 0.829, 0.040, 0.791, 0.901, 310000, 0.622},
+		{MethodKATE, 35, 0.834, 0.041, 0.768, 0.894, 61000, 0.123},
+	}
+	for _, r := range rows {
+		for i, ds := range g.Datasets {
+			// Skew per dataset so columns differ but stay deterministic.
+			f := 1 + 0.1*float64(i)
+			s := Stats{
+				NumLFs: r.nLFs * f, LFAcc: r.acc / f, LFAccKnown: ds != "spouse",
+				LFCov: r.cov / f, TotalCov: r.total / f, EM: r.em / f,
+				MetricName:   "accuracy",
+				PromptTokens: r.tokens * f * 0.8, CompletionTokens: r.tokens * f * 0.2,
+				CostUSD: r.cost * f, Runs: 5,
+			}
+			if ds == "spouse" {
+				s.MetricName = "f1"
+				s.LFAcc = 0
+			}
+			g.Set(r.method, ds, s)
+		}
+	}
+	// A cell that never ran renders as "?", and an error cell exercises
+	// the KeepGoing bookkeeping.
+	delete(g.Cells[MethodWrench], "sms")
+	g.SetErr(MethodCoT, "spouse", errors.New("cell failed: injected fault"))
+	return g
+}
+
+// fixtureAblationGrid builds a small ablation grid over the given row
+// names (LLM tiers, samplers, or filter settings).
+func fixtureAblationGrid(title string, rowNames []string, base float64) *Grid {
+	g := newGrid(title, rowNames, []string{"youtube", "sms"})
+	for i, m := range rowNames {
+		for j, ds := range g.Datasets {
+			f := 1 + 0.07*float64(i) + 0.11*float64(j)
+			g.Set(m, ds, Stats{
+				NumLFs: base * f, LFAcc: 0.7 + 0.02*float64(i), LFAccKnown: true,
+				LFCov: 0.05 / f, TotalCov: 0.7 * f / (1 + 0.11*float64(j)), EM: 0.8 + 0.01*float64(i),
+				MetricName:   "accuracy",
+				PromptTokens: 30000 * f, CompletionTokens: 8000 * f,
+				CostUSD: 0.06 * f, Runs: 5,
+			})
+		}
+	}
+	return g
+}
+
+func fixtureGrids() (main, llms, samplers, filters *Grid) {
+	main = fixtureMainGrid()
+	llms = fixtureAblationGrid("Table 3: LLM ablation (fixture)",
+		[]string{"gpt-3.5", "gpt-4", "llama2-7b", "llama2-13b", "llama2-70b"}, 40)
+	samplers = fixtureAblationGrid("Table 4: sampler ablation (fixture)",
+		[]string{"random", "uncertain", "seu"}, 45)
+	filters = fixtureAblationGrid("Table 5: filter ablation (fixture)",
+		[]string{"all", "no accuracy", "no redundancy"}, 35)
+	return
+}
+
+// checkGolden compares got against testdata/<name>.golden, rewriting the
+// file under -update.
+func checkGolden(t *testing.T, name, got string) {
+	t.Helper()
+	path := filepath.Join("testdata", name+".golden")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (regenerate with -update)", err)
+	}
+	if got != string(want) {
+		t.Errorf("%s drifted from its golden file.\n--- got ---\n%s\n--- want ---\n%s\n(run with -update to accept)",
+			name, got, want)
+	}
+}
+
+func TestGoldenRenderGrid(t *testing.T) {
+	checkGolden(t, "render_grid", RenderGrid(fixtureMainGrid()))
+}
+
+func TestGoldenRenderFigure3(t *testing.T) {
+	checkGolden(t, "render_figure3", RenderFigure3(fixtureMainGrid()))
+}
+
+func TestGoldenRenderFigure4(t *testing.T) {
+	checkGolden(t, "render_figure4", RenderFigure4(fixtureMainGrid()))
+}
+
+func TestGoldenRenderPaperComparison(t *testing.T) {
+	checkGolden(t, "render_paper_comparison", RenderPaperComparison(fixtureMainGrid(), PaperTable2))
+}
+
+func TestGoldenMarkdownReport(t *testing.T) {
+	main, llms, samplers, filters := fixtureGrids()
+	o := Options{Seeds: 5, Scale: 0.25, Iterations: 50, Model: "gpt-3.5"}
+	checkGolden(t, "markdown_report", MarkdownReport(o, main, llms, samplers, filters))
+}
+
+// TestGoldenMarkdownReportPartial pins the nil-grid sections: a report
+// with only the main grid must omit the ablation sections entirely.
+func TestGoldenMarkdownReportPartial(t *testing.T) {
+	o := Options{Seeds: 5, Scale: 0.25, Iterations: 50, Model: "gpt-3.5"}
+	checkGolden(t, "markdown_report_partial", MarkdownReport(o, fixtureMainGrid(), nil, nil, nil))
+}

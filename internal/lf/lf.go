@@ -190,3 +190,17 @@ func (a *AnnotationLF) Apply(e *dataset.Example) int {
 	}
 	return Abstain
 }
+
+// ApplyAll evaluates every LF on one example and returns the column
+// indices and votes of the active ones, in ascending index order — the
+// single-example vote row the serving path feeds to a label-model
+// predictor. Both slices are nil when every LF abstains.
+func ApplyAll(lfs []LabelFunction, e *dataset.Example) (js, votes []int) {
+	for j, f := range lfs {
+		if v := f.Apply(e); v != Abstain {
+			js = append(js, j)
+			votes = append(votes, v)
+		}
+	}
+	return js, votes
+}

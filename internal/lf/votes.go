@@ -169,8 +169,8 @@ func (vm *VoteMatrix) ComputeStats(gold []int, workers int) Stats {
 		panic(fmt.Sprintf("lf: gold length %d != examples %d", len(gold), vm.n))
 	}
 	type lfStat struct {
-		active int // docs voted on
-		graded int // of those, with known gold
+		active  int // docs voted on
+		graded  int // of those, with known gold
 		correct int
 	}
 	perLF := make([]lfStat, vm.m)

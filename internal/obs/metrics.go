@@ -151,6 +151,9 @@ var (
 	// MaxIter = 100); the low end resolves warm-started fits that
 	// converge almost immediately.
 	IterationBuckets = []float64{1, 2, 3, 5, 8, 12, 20, 32, 50, 75, 100}
+	// BatchSizeBuckets covers serving micro-batch sizes: 1 (an idle
+	// daemon serving requests as they come) up to the coalescer cap.
+	BatchSizeBuckets = []float64{1, 2, 4, 8, 16, 32, 64, 128, 256}
 )
 
 // ExpBuckets returns n bounds starting at start, multiplying by factor.

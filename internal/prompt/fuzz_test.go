@@ -1,0 +1,78 @@
+package prompt
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParseResponse drives the completion parser with arbitrary bytes.
+// The parser faces raw LLM output, so it must never panic or hang, and
+// every accepted response must satisfy the contract the pipeline relies
+// on: a non-negative label and trimmed, non-empty keyword phrases.
+func FuzzParseResponse(f *testing.F) {
+	for _, seed := range []string{
+		"Explanation: spammy ask.\nKeywords: subscribe, check out\nLabel: 1",
+		"Keywords: none\nLabel: 0",
+		"Keywords: free\nLabel: 1.",
+		"Keywords: free\nLabel: 1 (spam)",
+		"keywords: subscribe, free\nlabel: 0",
+		"explanation: looks fine\nKEYWORDS: melody\nLABEL: 0",
+		"Keywords: ,,,\nLabel: 2",
+		"Keywords:\nLabel: 007",
+		"Label: 1\nKeywords: out of order",
+		"Keywords: a\r\nLabel: 1\r\n",
+		"Keywords: a\nLabel: 99999999999999999999",
+		"Keywords: a\nLabel: -3",
+		"", ":", "Keywords", "Label:", "\x00Keywords: x\nLabel: 0",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, content string) {
+		p, err := ParseResponse(content)
+		if err != nil {
+			if p != nil {
+				t.Fatal("non-nil result alongside an error")
+			}
+			return
+		}
+		if p.Label < 0 {
+			t.Fatalf("accepted response with negative label %d", p.Label)
+		}
+		for _, k := range p.Keywords {
+			if k == "" {
+				t.Fatal("accepted empty keyword")
+			}
+			if strings.TrimSpace(k) != k {
+				t.Fatalf("keyword %q not trimmed", k)
+			}
+			if strings.ContainsRune(k, '\n') {
+				t.Fatalf("keyword %q spans lines", k)
+			}
+		}
+		// A parse must be deterministic: same input, same output.
+		q, err := ParseResponse(content)
+		if err != nil {
+			t.Fatal("reparse failed where first parse succeeded")
+		}
+		if q.Label != p.Label || len(q.Keywords) != len(p.Keywords) {
+			t.Fatal("reparse disagrees with first parse")
+		}
+	})
+}
+
+// FuzzSelfConsistency aggregates two fuzzed samples; the aggregate must
+// never panic and must echo an accepted label from some sample.
+func FuzzSelfConsistency(f *testing.F) {
+	f.Add("Keywords: a\nLabel: 1", "Keywords: b\nLabel: 1")
+	f.Add("Keywords: none\nLabel: 0", "garbage")
+	f.Add("", "")
+	f.Fuzz(func(t *testing.T, a, b string) {
+		p, err := SelfConsistency([]string{a, b})
+		if err != nil {
+			return
+		}
+		if p.Label < 0 {
+			t.Fatalf("aggregate label %d", p.Label)
+		}
+	})
+}

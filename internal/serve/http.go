@@ -1,0 +1,120 @@
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+)
+
+// labelRequest is the POST /v1/label body: exactly one of text / texts.
+type labelRequest struct {
+	Text    string   `json:"text"`
+	Texts   []string `json:"texts"`
+	Explain bool     `json:"explain"`
+}
+
+// labelResponse is the POST /v1/label body on success. Prediction is set
+// for single-text requests, Predictions (in request order) for batch
+// requests.
+type labelResponse struct {
+	Prediction  *Prediction  `json:"prediction,omitempty"`
+	Predictions []Prediction `json:"predictions,omitempty"`
+}
+
+// healthResponse is the GET /healthz body: liveness plus enough
+// provenance to tell which artifact this daemon is serving.
+type healthResponse struct {
+	Status     string `json:"status"`
+	Dataset    string `json:"dataset"`
+	Method     string `json:"method"`
+	NumLFs     int    `json:"num_lfs"`
+	ConfigHash string `json:"config_hash"`
+}
+
+// Handler returns the daemon's HTTP surface:
+//
+//	POST /v1/label  — label one text ({"text": ...}) or a batch
+//	                  ({"texts": [...]}); {"explain": true} adds LF votes
+//	                  and the label-model posterior
+//	GET  /healthz   — liveness + served-bundle provenance
+//	GET  /metrics   — Prometheus text exposition of the obs registry
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/label", s.handleLabel)
+	mux.HandleFunc("/healthz", s.handleHealth)
+	mux.HandleFunc("/metrics", s.handleMetrics)
+	return mux
+}
+
+func (s *Server) handleLabel(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		httpError(w, http.StatusMethodNotAllowed, "POST only")
+		return
+	}
+	var req labelRequest
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		s.mErrors.Inc()
+		httpError(w, http.StatusBadRequest, "decoding request: %v", err)
+		return
+	}
+	single := req.Text != ""
+	if single == (len(req.Texts) > 0) {
+		s.mErrors.Inc()
+		httpError(w, http.StatusBadRequest, `provide exactly one of "text" and "texts"`)
+		return
+	}
+	texts := req.Texts
+	if single {
+		texts = []string{req.Text}
+	}
+
+	preds, err := s.Label(r.Context(), texts, req.Explain)
+	if err != nil {
+		status := http.StatusInternalServerError
+		if errors.Is(err, ErrClosed) {
+			status = http.StatusServiceUnavailable
+		}
+		httpError(w, status, "%v", err)
+		return
+	}
+	resp := labelResponse{}
+	if single {
+		resp.Prediction = &preds[0]
+	} else {
+		resp.Predictions = preds
+	}
+	writeJSON(w, resp)
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, healthResponse{
+		Status:     "ok",
+		Dataset:    s.b.Dataset.Name,
+		Method:     s.b.Provenance.Method,
+		NumLFs:     len(s.b.LFs),
+		ConfigHash: s.b.Provenance.ConfigHash,
+	})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if s.o.Metrics == nil {
+		httpError(w, http.StatusNotFound, "metrics registry disabled")
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	s.o.Metrics.WritePrometheus(w) //nolint:errcheck — client went away
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(v) //nolint:errcheck — client went away
+}
+
+func httpError(w http.ResponseWriter, status int, format string, args ...any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(map[string]string{"error": fmt.Sprintf(format, args...)}) //nolint:errcheck
+}

@@ -1,0 +1,204 @@
+package serve_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"datasculpt/internal/dataset"
+	"datasculpt/internal/lf"
+	"datasculpt/internal/serve"
+)
+
+func postJSON(t *testing.T, url, body string) (int, map[string]json.RawMessage) {
+	t.Helper()
+	resp, err := http.Post(url, "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out map[string]json.RawMessage
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatalf("decoding response: %v", err)
+	}
+	return resp.StatusCode, out
+}
+
+func TestHTTPLabel(t *testing.T) {
+	s, _, d := newServer(t, serve.Options{})
+	b, _ := trained(t)
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	texts, probas, labels := offlineExpected(b, d)
+
+	// Single text.
+	body, _ := json.Marshal(map[string]any{"text": texts[0]})
+	code, out := postJSON(t, ts.URL+"/v1/label", string(body))
+	if code != http.StatusOK {
+		t.Fatalf("status %d", code)
+	}
+	var single serve.Prediction
+	if err := json.Unmarshal(out["prediction"], &single); err != nil {
+		t.Fatal(err)
+	}
+	assertPrediction(t, single, probas[0], labels[0], texts[0])
+	if single.Class != b.Dataset.ClassNames[labels[0]] {
+		t.Errorf("class name %q", single.Class)
+	}
+	if _, ok := out["predictions"]; ok {
+		t.Error("single request also returned a batch field")
+	}
+
+	// Batch.
+	body, _ = json.Marshal(map[string]any{"texts": texts[:5]})
+	code, out = postJSON(t, ts.URL+"/v1/label", string(body))
+	if code != http.StatusOK {
+		t.Fatalf("status %d", code)
+	}
+	var batch []serve.Prediction
+	if err := json.Unmarshal(out["predictions"], &batch); err != nil {
+		t.Fatal(err)
+	}
+	if len(batch) != 5 {
+		t.Fatalf("%d predictions", len(batch))
+	}
+	for i := range batch {
+		assertPrediction(t, batch[i], probas[i], labels[i], texts[i])
+	}
+
+	// Explain adds LF votes; proba stays bit-identical.
+	covered := -1
+	for i, e := range d.Valid {
+		js, _ := applyAllDirect(b.LFs, e.Text)
+		if len(js) > 0 {
+			covered = i
+			break
+		}
+	}
+	if covered < 0 {
+		t.Fatal("no covered validation text")
+	}
+	body, _ = json.Marshal(map[string]any{"text": texts[covered], "explain": true})
+	code, out = postJSON(t, ts.URL+"/v1/label", string(body))
+	if code != http.StatusOK {
+		t.Fatalf("status %d", code)
+	}
+	if err := json.Unmarshal(out["prediction"], &single); err != nil {
+		t.Fatal(err)
+	}
+	assertPrediction(t, single, probas[covered], labels[covered], texts[covered])
+	if len(single.LFs) == 0 || len(single.LabelModelProba) != len(probas[covered]) {
+		t.Errorf("explain response missing LF votes or posterior: %+v", single)
+	}
+	var sum float64
+	for _, p := range single.LabelModelProba {
+		sum += p
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Errorf("posterior sums to %v", sum)
+	}
+}
+
+func applyAllDirect(lfs []lf.LabelFunction, text string) (js, votes []int) {
+	e := &dataset.Example{ID: -1, Text: text, Label: dataset.NoLabel, E1Pos: -1, E2Pos: -1}
+	for j, f := range lfs {
+		if v := f.Apply(e); v != -1 {
+			js = append(js, j)
+			votes = append(votes, v)
+		}
+	}
+	return
+}
+
+func TestHTTPLabelErrors(t *testing.T) {
+	s, _, _ := newServer(t, serve.Options{})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	cases := []struct {
+		name, body string
+	}{
+		{"neither", `{}`},
+		{"both", `{"text": "a", "texts": ["b"]}`},
+		{"unknown field", `{"text": "a", "bogus": 1}`},
+		{"malformed", `{"text": `},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			code, out := postJSON(t, ts.URL+"/v1/label", tc.body)
+			if code != http.StatusBadRequest {
+				t.Errorf("status %d", code)
+			}
+			if _, ok := out["error"]; !ok {
+				t.Error("no error field")
+			}
+		})
+	}
+
+	t.Run("wrong method", func(t *testing.T) {
+		resp, err := http.Get(ts.URL + "/v1/label")
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusMethodNotAllowed {
+			t.Errorf("status %d", resp.StatusCode)
+		}
+	})
+}
+
+func TestHTTPHealthAndMetrics(t *testing.T) {
+	s, _, _ := newServer(t, serve.Options{})
+	b, _ := trained(t)
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var health struct {
+		Status     string `json:"status"`
+		Dataset    string `json:"dataset"`
+		NumLFs     int    `json:"num_lfs"`
+		ConfigHash string `json:"config_hash"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&health); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if health.Status != "ok" || health.Dataset != "youtube" ||
+		health.NumLFs != len(b.LFs) || health.ConfigHash != b.Provenance.ConfigHash {
+		t.Errorf("health: %+v", health)
+	}
+
+	// Label something so the metrics page has serve_* series.
+	body, _ := json.Marshal(map[string]any{"text": "subscribe now"})
+	if code, _ := postJSON(t, ts.URL+"/v1/label", string(body)); code != http.StatusOK {
+		t.Fatalf("label status %d", code)
+	}
+	resp, err = http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	page, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"serve_requests_total 1", "serve_texts_total 1",
+		"serve_batches_total 1", "serve_batch_size_bucket",
+		"serve_request_seconds_bucket", "serve_inflight 0",
+	} {
+		if !bytes.Contains(page, []byte(want)) {
+			t.Errorf("metrics page missing %q", want)
+		}
+	}
+}

@@ -1,0 +1,327 @@
+// Package serve turns a model bundle into an online labeling service.
+//
+// The core is a micro-batching coalescer: every incoming text becomes one
+// queue item, a single batch loop gathers items until the batch cap or a
+// short wait deadline is hit, and the whole batch flows through the same
+// parallel TransformAll/PredictProbaAll hot path the offline evaluator
+// uses. Because featurization and prediction are per-example independent
+// with fixed-order reductions, batch composition cannot influence any
+// result: a text served alone, inside a mixed batch, or by the offline
+// Evaluate path produces bit-identical probabilities and labels (enforced
+// by the differential and race tests in this package).
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"datasculpt/internal/bundle"
+	"datasculpt/internal/dataset"
+	"datasculpt/internal/labelmodel"
+	"datasculpt/internal/lf"
+	"datasculpt/internal/obs"
+)
+
+// ErrClosed is returned by Label once Close has begun.
+var ErrClosed = errors.New("serve: server closed")
+
+// Options tunes the coalescer.
+type Options struct {
+	// MaxBatch caps how many texts one batch carries (default 64).
+	MaxBatch int
+	// MaxWait is how long the first text of a batch waits for company
+	// before the batch is dispatched anyway (default 2ms).
+	MaxWait time.Duration
+	// Workers bounds the goroutines featurization and prediction fan out
+	// over per batch (<= 1 sequential; output is identical either way).
+	Workers int
+}
+
+func (o Options) withDefaults() Options {
+	if o.MaxBatch <= 0 {
+		o.MaxBatch = 64
+	}
+	if o.MaxWait <= 0 {
+		o.MaxWait = 2 * time.Millisecond
+	}
+	return o
+}
+
+// LFVote is one active label function in an explained prediction.
+type LFVote struct {
+	// Name identifies the LF; Vote is the class it voted.
+	Name string `json:"name"`
+	Vote int    `json:"vote"`
+}
+
+// Prediction is the served result for one text.
+type Prediction struct {
+	// Label is the end-model argmax class index; Class its name.
+	Label int    `json:"label"`
+	Class string `json:"class"`
+	// Proba is the end-model class distribution.
+	Proba []float64 `json:"proba"`
+	// LFs lists the label functions that fired (explain mode only).
+	LFs []LFVote `json:"lfs,omitempty"`
+	// LabelModelProba is the label-model posterior over classes, present
+	// in explain mode when the bundle carries a label model and at least
+	// one LF fired.
+	LabelModelProba []float64 `json:"label_model_proba,omitempty"`
+}
+
+// request is one Label call in flight: its examples, its result slots,
+// and the countdown that fires done when every slot is filled.
+type request struct {
+	examples  []*dataset.Example
+	preds     []Prediction
+	explain   bool
+	remaining atomic.Int32
+	done      chan struct{}
+}
+
+// batchItem addresses one text of one request.
+type batchItem struct {
+	req *request
+	pos int
+}
+
+// Server coalesces label requests into batches over a loaded bundle.
+type Server struct {
+	b         *bundle.Bundle
+	predictor *labelmodel.Predictor // nil when the bundle has no label model
+	opts      Options
+	o         *obs.Obs
+
+	queue     chan batchItem
+	quit      chan struct{}
+	mu        sync.Mutex
+	closed    bool
+	producers sync.WaitGroup
+	loop      sync.WaitGroup
+
+	mRequests *obs.Counter
+	mTexts    *obs.Counter
+	mBatches  *obs.Counter
+	mErrors   *obs.Counter
+	mInflight *obs.Gauge
+	mBatchSz  *obs.Histogram
+	mLatency  *obs.Histogram
+}
+
+// New wires a server around a validated bundle. The obs bundle may be
+// nil (telemetry disabled). The server owns the bundle's worker
+// configuration from here on.
+func New(b *bundle.Bundle, o *obs.Obs, opts Options) (*Server, error) {
+	if b == nil {
+		return nil, errors.New("serve: nil bundle")
+	}
+	if err := b.Validate(); err != nil {
+		return nil, err
+	}
+	if o == nil {
+		o = obs.Default()
+	}
+	opts = opts.withDefaults()
+	b.Featurizer.Workers = opts.Workers
+	b.EndModel.SetParallelism(opts.Workers)
+
+	s := &Server{
+		b:     b,
+		opts:  opts,
+		o:     o,
+		queue: make(chan batchItem, 4*opts.MaxBatch),
+		quit:  make(chan struct{}),
+	}
+	if b.LabelModel != nil {
+		s.predictor = b.LabelModel.NewPredictor()
+	}
+	reg := o.Metrics
+	s.mRequests = reg.Counter("serve_requests_total", "Label requests received.")
+	s.mTexts = reg.Counter("serve_texts_total", "Texts labeled.")
+	s.mBatches = reg.Counter("serve_batches_total", "Micro-batches dispatched.")
+	s.mErrors = reg.Counter("serve_errors_total", "Requests that failed.")
+	s.mInflight = reg.Gauge("serve_inflight", "Label requests currently in flight.")
+	s.mBatchSz = reg.Histogram("serve_batch_size", "Texts per dispatched micro-batch.", obs.BatchSizeBuckets)
+	s.mLatency = reg.Histogram("serve_request_seconds", "Label request latency.", obs.DurationBuckets)
+
+	s.loop.Add(1)
+	go s.batchLoop()
+	return s, nil
+}
+
+// Bundle returns the served bundle (read-only; used by the HTTP layer
+// for health/provenance responses).
+func (s *Server) Bundle() *bundle.Bundle { return s.b }
+
+// Label labels texts and returns one prediction per text, in order. It
+// blocks until the batch loop has processed every text (or ctx is
+// cancelled). Safe for concurrent use.
+func (s *Server) Label(ctx context.Context, texts []string, explain bool) ([]Prediction, error) {
+	if len(texts) == 0 {
+		return nil, errors.New("serve: empty request")
+	}
+	start := time.Now()
+	span := s.o.StartSpan(ctx, "serve.label")
+	span.SetInt("texts", int64(len(texts)))
+	defer span.End()
+	s.mRequests.Inc()
+	s.mTexts.AddInt(len(texts))
+	s.mInflight.Add(1)
+	defer s.mInflight.Add(-1)
+
+	req := &request{
+		examples: make([]*dataset.Example, len(texts)),
+		preds:    make([]Prediction, len(texts)),
+		explain:  explain,
+		done:     make(chan struct{}),
+	}
+	req.remaining.Store(int32(len(texts)))
+	for i, text := range texts {
+		// E1Pos/E2Pos must be -1: zero would mark token 0 as an entity
+		// mention and slice the feature window, diverging from how the
+		// offline path treats plain-text examples.
+		req.examples[i] = &dataset.Example{ID: -1, Text: text, Label: dataset.NoLabel, E1Pos: -1, E2Pos: -1}
+	}
+
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		s.mErrors.Inc()
+		span.SetErr(ErrClosed)
+		return nil, ErrClosed
+	}
+	s.producers.Add(1)
+	s.mu.Unlock()
+	for i := range texts {
+		s.queue <- batchItem{req: req, pos: i}
+	}
+	s.producers.Done()
+
+	select {
+	case <-req.done:
+		s.mLatency.Observe(time.Since(start).Seconds())
+		return req.preds, nil
+	case <-ctx.Done():
+		s.mErrors.Inc()
+		span.SetErr(ctx.Err())
+		return nil, fmt.Errorf("serve: %w", ctx.Err())
+	}
+}
+
+// Close stops accepting requests, waits for enqueued texts to be
+// processed, and shuts the batch loop down. Idempotent.
+func (s *Server) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		s.loop.Wait()
+		return
+	}
+	s.closed = true
+	s.mu.Unlock()
+	s.producers.Wait() // every accepted request is fully enqueued
+	close(s.quit)
+	s.loop.Wait()
+}
+
+// batchLoop is the single consumer: it seeds each batch with the first
+// available item, fills it, and processes it, until quit — then drains
+// whatever is still queued.
+func (s *Server) batchLoop() {
+	defer s.loop.Done()
+	for {
+		select {
+		case it := <-s.queue:
+			s.process(s.fill(it))
+		case <-s.quit:
+			for {
+				select {
+				case it := <-s.queue:
+					s.process(s.fill(it))
+				default:
+					return
+				}
+			}
+		}
+	}
+}
+
+// fill grows a batch seeded with first until MaxBatch items are gathered
+// or MaxWait elapses. The wait clock starts with the first item — a lone
+// request is never delayed longer than MaxWait.
+func (s *Server) fill(first batchItem) []batchItem {
+	batch := append(make([]batchItem, 0, s.opts.MaxBatch), first)
+	timer := time.NewTimer(s.opts.MaxWait)
+	defer timer.Stop()
+	for len(batch) < s.opts.MaxBatch {
+		select {
+		case it := <-s.queue:
+			batch = append(batch, it)
+		case <-timer.C:
+			return batch
+		case <-s.quit:
+			// Shutting down: take what is immediately available, skip the
+			// wait.
+			for len(batch) < s.opts.MaxBatch {
+				select {
+				case it := <-s.queue:
+					batch = append(batch, it)
+				default:
+					return batch
+				}
+			}
+			return batch
+		}
+	}
+	return batch
+}
+
+// process runs one batch through the offline hot path — featurize all,
+// predict all — and distributes results to their requests. The label is
+// derived from the probability row with the same strict-greater first-max
+// rule as LogisticRegression.Predict (softmax is monotone, so the argmax
+// is identical).
+func (s *Server) process(batch []batchItem) {
+	s.mBatches.Inc()
+	s.mBatchSz.Observe(float64(len(batch)))
+	span := s.o.Tracer.StartSpan("serve.batch")
+	span.SetInt("size", int64(len(batch)))
+	defer span.End()
+
+	corpus := make([][]string, len(batch))
+	for i, it := range batch {
+		corpus[i] = it.req.examples[it.pos].FeatureTokens()
+	}
+	X := s.b.Featurizer.TransformAll(corpus)
+	P := s.b.EndModel.PredictProbaAll(X)
+
+	for i, it := range batch {
+		row := P[i]
+		best := 0
+		for c := 1; c < len(row); c++ {
+			if row[c] > row[best] {
+				best = c
+			}
+		}
+		pred := Prediction{Label: best, Class: s.b.Dataset.ClassNames[best], Proba: row}
+		if it.req.explain {
+			e := it.req.examples[it.pos]
+			js, votes := lf.ApplyAll(s.b.LFs, e)
+			pred.LFs = make([]LFVote, len(js))
+			for t, j := range js {
+				pred.LFs[t] = LFVote{Name: s.b.LFs[j].Name(), Vote: votes[t]}
+			}
+			if s.predictor != nil && len(js) > 0 {
+				pred.LabelModelProba = s.predictor.Posterior(js, votes)
+			}
+		}
+		it.req.preds[it.pos] = pred
+		if it.req.remaining.Add(-1) == 0 {
+			close(it.req.done)
+		}
+	}
+}

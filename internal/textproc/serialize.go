@@ -1,0 +1,63 @@
+package textproc
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+)
+
+// A fitted featurizer is part of the model artifact a training run ships:
+// the end model's weights are meaningless without the exact IDF table
+// they were trained against. The stored form keeps the raw document
+// frequencies and the corpus size; IDF weights are recomputed on load
+// with the same formula Fit uses, so a round-tripped featurizer produces
+// bit-identical vectors.
+
+// featurizerJSON is the stored form of a fitted featurizer.
+type featurizerJSON struct {
+	Dim  int     `json:"dim"`
+	Docs int     `json:"docs"`
+	DF   []int32 `json:"df"`
+}
+
+// MarshalJSON implements json.Marshaler. Only fitted featurizers are
+// serializable: an unfitted one has no statistics worth shipping.
+func (f *Featurizer) MarshalJSON() ([]byte, error) {
+	if !f.Fitted() {
+		return nil, fmt.Errorf("featurizer: cannot serialize before Fit")
+	}
+	return json.Marshal(featurizerJSON{Dim: f.Dim, Docs: f.docs, DF: f.df})
+}
+
+// UnmarshalJSON implements json.Unmarshaler, validating the statistics
+// and rebuilding the IDF table exactly as Fit does. The result is fitted
+// and ready to Transform; Workers resets to sequential.
+func (f *Featurizer) UnmarshalJSON(data []byte) error {
+	var in featurizerJSON
+	if err := json.Unmarshal(data, &in); err != nil {
+		return fmt.Errorf("featurizer: decoding: %w", err)
+	}
+	if in.Dim <= 0 {
+		return fmt.Errorf("featurizer: invalid dimension %d", in.Dim)
+	}
+	if in.Docs <= 0 {
+		return fmt.Errorf("featurizer: invalid document count %d", in.Docs)
+	}
+	if len(in.DF) != in.Dim {
+		return fmt.Errorf("featurizer: %d document frequencies for dimension %d", len(in.DF), in.Dim)
+	}
+	for b, df := range in.DF {
+		if df < 0 || int(df) > in.Docs {
+			return fmt.Errorf("featurizer: bucket %d frequency %d out of range [0,%d]", b, df, in.Docs)
+		}
+	}
+	f.Dim = in.Dim
+	f.docs = in.Docs
+	f.df = in.DF
+	f.Workers = 0
+	f.idf = make([]float32, f.Dim)
+	for b := range f.idf {
+		f.idf[b] = float32(math.Log(float64(1+f.docs)/float64(1+f.df[b])) + 1)
+	}
+	return nil
+}
