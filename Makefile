@@ -10,9 +10,9 @@ GO ?= go
 # pass.
 COVERAGE_FLOOR = 82.8
 
-.PHONY: ci vet build test race chaos stress fuzz-smoke cover-check bench bench-grid bench-json bench-smoke clean
+.PHONY: ci vet build test race chaos stress fuzz-smoke cover-check bench bench-grid bench-json bench-smoke bench-serve bench-serve-smoke clean
 
-ci: vet build test race chaos stress fuzz-smoke cover-check bench-smoke
+ci: vet build test race chaos stress fuzz-smoke cover-check bench-smoke bench-serve-smoke
 
 vet:
 	$(GO) vet ./...
@@ -78,6 +78,25 @@ bench-json:
 # the evaluation engine run end to end (wired into ci)
 bench-smoke:
 	$(GO) test -bench=EvalSmoke -benchtime=1x -run XXX .
+
+# serving load benchmark: train a small bundle, drive mixed multi-tenant
+# single/batch traffic through an in-process loopback daemon (registry,
+# gateway, coalescer, real HTTP), write BENCH_serve.json, and prove the
+# report renders. The committed BENCH_serve.json comes from the full run.
+bench-serve:
+	$(GO) run ./cmd/datasculpt -dataset youtube -iterations 15 -scale 0.4 -save-bundle /tmp/datasculpt-serve-bench.json > /dev/null
+	$(GO) run ./cmd/loadgen -bundle /tmp/datasculpt-serve-bench.json -out BENCH_serve.json
+	$(GO) run ./cmd/loadgen -render BENCH_serve.json
+
+# the same harness at smoke scale (2s, 2 tenants, 4 workers), wired into
+# ci: proves loadgen, the daemon stack, and the report renderer end to
+# end without committing the throwaway numbers, and checks the committed
+# BENCH_serve.json still renders
+bench-serve-smoke:
+	$(GO) run ./cmd/datasculpt -dataset youtube -iterations 10 -scale 0.3 -save-bundle /tmp/datasculpt-serve-smoke.json > /dev/null
+	$(GO) run ./cmd/loadgen -bundle /tmp/datasculpt-serve-smoke.json -smoke -out /tmp/datasculpt-serve-smoke-report.json
+	$(GO) run ./cmd/loadgen -render /tmp/datasculpt-serve-smoke-report.json
+	$(GO) run ./cmd/loadgen -render BENCH_serve.json
 
 clean:
 	$(GO) clean ./...

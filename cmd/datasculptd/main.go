@@ -1,17 +1,24 @@
-// Command datasculptd serves a trained model bundle over HTTP: load the
-// artifact a `datasculpt -save-bundle` run produced, and label texts
-// online through the same code path — bit-identical results included —
-// that the offline evaluator uses.
+// Command datasculptd serves trained model bundles over HTTP: load the
+// artifacts `datasculpt -save-bundle` runs produced, map them to
+// tenants, and label texts online through the same code path — bit-
+// identical results included — that the offline evaluator uses.
 //
-//	datasculpt -dataset youtube -save-bundle model.json
-//	datasculptd -bundle model.json -addr :8080
-//	curl -s localhost:8080/v1/label -d '{"text": "subscribe to my channel!", "explain": true}'
+//	datasculpt -dataset youtube -save-bundle spam.json
+//	datasculptd -bundle spam.json -tenant acme=spam.json -addr :8080
+//	curl -s localhost:8080/v1/tenants/acme/label -d '{"text": "subscribe!", "explain": true}'
+//	curl -s localhost:8080/v1/label -d '{"text": "subscribe!"}'   # default tenant
+//	curl -s localhost:8080/v1/bundles                             # provenance listing
+//	curl -s localhost:8080/v1/bundles/acme --data-binary @new.json # shadow-gated hot-swap
 //
-// Incoming texts are coalesced into micro-batches (-max-batch, -max-wait)
-// so concurrent load amortizes the parallel featurize/predict sweep
-// instead of paying it per request. /healthz reports liveness plus the
-// served bundle's provenance; /metrics exposes the serve_* counters and
-// histograms in Prometheus text format.
+// The daemon is one replica of a shardable fleet: with -replicas N and
+// -replica-index I it answers only the tenants a consistent-hash ring
+// assigns to shard I and redirects the rest with 421 + a shard hint
+// (-peers advertises replica addresses in the hint). Incoming texts are
+// coalesced into micro-batches (-max-batch, -max-wait) behind a bounded
+// admission queue (-queue-depth; overload sheds 429 instead of
+// queueing without bound), at most -max-resident tenant servers stay
+// mapped at once, and /metrics exposes the serve_* counters,
+// histograms and gauges in Prometheus text format.
 package main
 
 import (
@@ -23,43 +30,92 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
-	"datasculpt/internal/bundle"
 	"datasculpt/internal/obs"
+	"datasculpt/internal/registry"
 	"datasculpt/internal/serve"
 )
 
+// tenantFlags collects repeated -tenant name=path mappings.
+type tenantFlags []string
+
+func (t *tenantFlags) String() string { return strings.Join(*t, ",") }
+func (t *tenantFlags) Set(v string) error {
+	if !strings.Contains(v, "=") {
+		return fmt.Errorf("want name=path, got %q", v)
+	}
+	*t = append(*t, v)
+	return nil
+}
+
+// config is everything run needs; one struct keeps the flag surface and
+// the tests in sync.
+type config struct {
+	bundlePath    string
+	tenants       tenantFlags
+	defaultTenant string
+	addr          string
+
+	maxBatch    int
+	maxWait     time.Duration
+	parallelism int
+	queueDepth  int
+
+	maxResident     int
+	shadowAgreement float64
+
+	replicas     int
+	replicaIndex int
+	peers        string
+
+	logLevel   string
+	traceOut   string
+	metricsOut string
+	debugAddr  string
+}
+
 func main() {
-	bundlePath := flag.String("bundle", "", "model bundle to serve (required; produced by datasculpt -save-bundle)")
-	addr := flag.String("addr", ":8080", "listen address")
-	maxBatch := flag.Int("max-batch", 64, "max texts per micro-batch")
-	maxWait := flag.Duration("max-wait", 2*time.Millisecond, "max time the first text of a batch waits for company")
-	parallelism := flag.Int("parallelism", 0, "featurize/predict worker goroutines per batch (0 = GOMAXPROCS, 1 = sequential; results identical)")
-	logLevel := flag.String("log-level", "info", "log verbosity: debug, info, warn, error")
-	traceOut := flag.String("trace-out", "", "stream one JSON span per request/batch to this file")
-	metricsOut := flag.String("metrics-out", "", "write final metrics here on exit (Prometheus text; JSON if the path ends in .json)")
-	debugAddr := flag.String("debug-addr", "", "serve expvar (/debug/vars) and pprof (/debug/pprof/) on this address")
+	var cfg config
+	flag.StringVar(&cfg.bundlePath, "bundle", "", "model bundle mapped to the default tenant (produced by datasculpt -save-bundle)")
+	flag.Var(&cfg.tenants, "tenant", "tenant mapping name=bundle-path (repeatable)")
+	flag.StringVar(&cfg.defaultTenant, "default-tenant", "default", "tenant the bare /v1/label alias routes to")
+	flag.StringVar(&cfg.addr, "addr", ":8080", "listen address")
+	flag.IntVar(&cfg.maxBatch, "max-batch", 64, "max texts per micro-batch")
+	flag.DurationVar(&cfg.maxWait, "max-wait", 2*time.Millisecond, "max time the first text of a batch waits for company")
+	flag.IntVar(&cfg.parallelism, "parallelism", 0, "featurize/predict worker goroutines per batch (0 = GOMAXPROCS, 1 = sequential; results identical)")
+	flag.IntVar(&cfg.queueDepth, "queue-depth", 0, "max texts waiting in the coalescer queue before requests shed with 429 (0 = 16*max-batch)")
+	flag.IntVar(&cfg.maxResident, "max-resident", 8, "max tenants with a mapped server at once (LRU evicts beyond this)")
+	flag.Float64Var(&cfg.shadowAgreement, "shadow-agreement", 0.9, "min agreement with the incumbent on recent traffic for a promotion to pass the shadow gate")
+	flag.IntVar(&cfg.replicas, "replicas", 1, "replica-set size for consistent-hash tenant sharding")
+	flag.IntVar(&cfg.replicaIndex, "replica-index", 0, "this replica's shard index (0..replicas-1)")
+	flag.StringVar(&cfg.peers, "peers", "", "comma-separated replica addresses, advertised in 421 shard hints (index i = replica i)")
+	flag.StringVar(&cfg.logLevel, "log-level", "info", "log verbosity: debug, info, warn, error")
+	flag.StringVar(&cfg.traceOut, "trace-out", "", "stream one JSON span per request/batch to this file")
+	flag.StringVar(&cfg.metricsOut, "metrics-out", "", "write final metrics here on exit (Prometheus text; JSON if the path ends in .json)")
+	flag.StringVar(&cfg.debugAddr, "debug-addr", "", "serve expvar (/debug/vars) and pprof (/debug/pprof/) on this address")
 	flag.Parse()
 
-	if err := run(*bundlePath, *addr, *maxBatch, *maxWait, *parallelism,
-		*logLevel, *traceOut, *metricsOut, *debugAddr); err != nil {
+	if err := run(cfg); err != nil {
 		fmt.Fprintln(os.Stderr, "datasculptd:", err)
 		os.Exit(1)
 	}
 }
 
-func run(bundlePath, addr string, maxBatch int, maxWait time.Duration, parallelism int,
-	logLevel, traceOut, metricsOut, debugAddr string) (err error) {
-	if bundlePath == "" {
-		return errors.New("-bundle is required")
+func run(cfg config) (err error) {
+	if cfg.bundlePath == "" && len(cfg.tenants) == 0 {
+		return errors.New("at least one of -bundle and -tenant is required")
+	}
+	if cfg.replicas < 1 || cfg.replicaIndex < 0 || cfg.replicaIndex >= cfg.replicas {
+		return fmt.Errorf("-replica-index %d out of range for -replicas %d", cfg.replicaIndex, cfg.replicas)
 	}
 	o, cleanup, err := obs.Setup(obs.SetupConfig{
-		LogLevel:    logLevel,
-		TracePath:   traceOut,
-		MetricsPath: metricsOut,
-		DebugAddr:   debugAddr,
+		LogLevel:    cfg.logLevel,
+		TracePath:   cfg.traceOut,
+		MetricsPath: cfg.metricsOut,
+		DebugAddr:   cfg.debugAddr,
 	})
 	if err != nil {
 		return err
@@ -72,46 +128,69 @@ func run(bundlePath, addr string, maxBatch int, maxWait time.Duration, paralleli
 		}
 	}()
 
-	b, err := bundle.Load(bundlePath)
+	reg := registry.New(o, registry.Options{
+		MaxResident:     cfg.maxResident,
+		ShadowAgreement: cfg.shadowAgreement,
+		Serve: serve.Options{
+			MaxBatch:   cfg.maxBatch,
+			MaxWait:    cfg.maxWait,
+			Workers:    cfg.parallelism,
+			QueueDepth: cfg.queueDepth,
+		},
+	})
+	if cfg.bundlePath != "" {
+		if err := reg.Register(cfg.defaultTenant, cfg.bundlePath); err != nil {
+			return err
+		}
+	}
+	for _, m := range cfg.tenants {
+		name, path, _ := strings.Cut(m, "=")
+		if err := reg.Register(name, path); err != nil {
+			return err
+		}
+	}
+
+	var ring *registry.Ring
+	if cfg.replicas > 1 {
+		ring = registry.NewRing(cfg.replicas, 0)
+	}
+	var peers []string
+	if cfg.peers != "" {
+		peers = strings.Split(cfg.peers, ",")
+	}
+	gw := registry.NewGateway(reg, o, registry.GatewayOptions{
+		DefaultTenant: cfg.defaultTenant,
+		Ring:          ring,
+		SelfShard:     cfg.replicaIndex,
+		Peers:         peers,
+	})
+
+	ln, err := net.Listen("tcp", cfg.addr)
 	if err != nil {
 		return err
 	}
-	ln, err := net.Listen("tcp", addr)
-	if err != nil {
-		return err
-	}
-	o.Logger.Info("serving bundle",
-		"bundle", bundlePath,
-		"dataset", b.Dataset.Name,
-		"method", b.Provenance.Method,
-		"lfs", len(b.LFs),
-		"config_hash", b.Provenance.ConfigHash,
+	o.Logger.Info("serving",
+		"tenants", reg.Tenants(),
+		"default_tenant", cfg.defaultTenant,
+		"shard", cfg.replicaIndex,
+		"replicas", cfg.replicas,
 		"addr", ln.Addr().String())
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
-	return serveBundle(ctx, ln, b, o, serve.Options{
-		MaxBatch: maxBatch,
-		MaxWait:  maxWait,
-		Workers:  parallelism,
-	})
+	return serveGateway(ctx, ln, reg, gw, o)
 }
 
-// serveBundle serves b on ln until ctx is cancelled, then shuts down
-// gracefully: stop accepting connections, let in-flight requests finish,
-// drain the coalescer queue.
-func serveBundle(ctx context.Context, ln net.Listener, b *bundle.Bundle, o *obs.Obs, opts serve.Options) error {
-	srv, err := serve.New(b, o, opts)
-	if err != nil {
-		ln.Close()
-		return err
-	}
-	httpSrv := &http.Server{Handler: srv.Handler()}
+// serveGateway serves the gateway on ln until ctx is cancelled, then
+// shuts down gracefully: stop accepting connections, let in-flight
+// requests finish, drain every tenant's coalescer queue.
+func serveGateway(ctx context.Context, ln net.Listener, reg *registry.Registry, gw *registry.Gateway, o *obs.Obs) error {
+	httpSrv := &http.Server{Handler: gw.Handler()}
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- httpSrv.Serve(ln) }()
 
 	select {
 	case err := <-serveErr:
-		srv.Close()
+		reg.Close()
 		return err
 	case <-ctx.Done():
 	}
@@ -119,10 +198,10 @@ func serveBundle(ctx context.Context, ln net.Listener, b *bundle.Bundle, o *obs.
 	shutCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 	defer cancel()
 	if err := httpSrv.Shutdown(shutCtx); err != nil {
-		srv.Close()
+		reg.Close()
 		return err
 	}
-	srv.Close()
+	reg.Close()
 	if err := <-serveErr; !errors.Is(err, http.ErrServerClosed) {
 		return err
 	}

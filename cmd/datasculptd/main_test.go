@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"net"
 	"net/http"
+	"os"
 	"path/filepath"
 	"strings"
 	"testing"
@@ -14,6 +15,7 @@ import (
 	"datasculpt/internal/core"
 	"datasculpt/internal/dataset"
 	"datasculpt/internal/obs"
+	"datasculpt/internal/registry"
 	"datasculpt/internal/serve"
 )
 
@@ -45,85 +47,168 @@ func trainBundle(t *testing.T) string {
 	return path
 }
 
-// TestDaemonEndToEnd boots the daemon's serve loop on a loopback
-// listener, labels through it over real HTTP, and shuts it down
-// gracefully the way a signal would.
-func TestDaemonEndToEnd(t *testing.T) {
-	path := trainBundle(t)
-	b, err := bundle.Load(path)
-	if err != nil {
-		t.Fatal(err)
-	}
+// startDaemon boots the daemon's serve loop on a loopback listener with
+// the given tenants registered, and returns the base URL plus a
+// shutdown func that asserts graceful exit.
+func startDaemon(t *testing.T, reg *registry.Registry, gwOpts registry.GatewayOptions) string {
+	t.Helper()
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		t.Fatal(err)
 	}
+	gw := registry.NewGateway(reg, obs.Default(), gwOpts)
 	ctx, cancel := context.WithCancel(context.Background())
 	done := make(chan error, 1)
-	go func() {
-		done <- serveBundle(ctx, ln, b, obs.Default(), serve.Options{Workers: 2})
-	}()
-	base := "http://" + ln.Addr().String()
+	go func() { done <- serveGateway(ctx, ln, reg, gw, obs.Default()) }()
+	t.Cleanup(func() {
+		cancel()
+		select {
+		case err := <-done:
+			if err != nil {
+				t.Errorf("serve loop: %v", err)
+			}
+		case <-time.After(15 * time.Second):
+			t.Error("graceful shutdown timed out")
+		}
+	})
+	return "http://" + ln.Addr().String()
+}
 
-	resp, err := http.Post(base+"/v1/label", "application/json",
-		strings.NewReader(`{"texts": ["subscribe to my channel", "great song"], "explain": true}`))
+// TestDaemonEndToEnd labels over real HTTP through both the bare alias
+// and a tenant-scoped route, lists bundles, promotes an upload, rolls
+// it back, and shuts the daemon down gracefully the way a signal would.
+func TestDaemonEndToEnd(t *testing.T) {
+	path := trainBundle(t)
+	reg := registry.New(obs.Default(), registry.Options{Serve: serve.Options{Workers: 2}})
+	if err := reg.Register("default", path); err != nil {
+		t.Fatal(err)
+	}
+	if err := reg.Register("acme", path); err != nil {
+		t.Fatal(err)
+	}
+	base := startDaemon(t, reg, registry.GatewayOptions{})
+
+	for _, route := range []string{"/v1/label", "/v1/tenants/acme/label"} {
+		resp, err := http.Post(base+route, "application/json",
+			strings.NewReader(`{"texts": ["subscribe to my channel", "great song"], "explain": true}`))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var out struct {
+			Predictions []serve.Prediction `json:"predictions"`
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK || len(out.Predictions) != 2 {
+			t.Fatalf("%s: status %d, %d predictions", route, resp.StatusCode, len(out.Predictions))
+		}
+		for _, p := range out.Predictions {
+			if len(p.Proba) != 2 || p.Class == "" {
+				t.Errorf("%s: prediction %+v", route, p)
+			}
+		}
+	}
+
+	resp, err := http.Get(base + "/v1/bundles")
 	if err != nil {
 		t.Fatal(err)
 	}
-	var out struct {
-		Predictions []serve.Prediction `json:"predictions"`
+	var listing struct {
+		Bundles []registry.Info `json:"bundles"`
 	}
-	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+	if err := json.NewDecoder(resp.Body).Decode(&listing); err != nil {
 		t.Fatal(err)
 	}
 	resp.Body.Close()
-	if resp.StatusCode != http.StatusOK || len(out.Predictions) != 2 {
-		t.Fatalf("status %d, %d predictions", resp.StatusCode, len(out.Predictions))
+	if len(listing.Bundles) != 2 || listing.Bundles[0].Tenant != "default" {
+		t.Fatalf("bundles listing: %+v", listing)
 	}
-	for _, p := range out.Predictions {
-		if len(p.Proba) != 2 || p.Class == "" {
-			t.Errorf("prediction %+v", p)
-		}
+
+	// Hot-swap promote the same artifact (agreement 1.0 passes the
+	// gate), then roll back.
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err = http.Post(base+"/v1/bundles/acme", "application/json", strings.NewReader(string(data)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep registry.PromoteReport
+	if err := json.NewDecoder(resp.Body).Decode(&rep); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || rep.Generation != 1 {
+		t.Fatalf("promote: status %d, report %+v", resp.StatusCode, rep)
+	}
+	resp, err = http.Post(base+"/v1/bundles/acme/rollback", "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("rollback: status %d", resp.StatusCode)
 	}
 
 	resp, err = http.Get(base + "/healthz")
 	if err != nil {
 		t.Fatal(err)
 	}
-	resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		t.Errorf("healthz status %d", resp.StatusCode)
+	var health struct {
+		Status  string `json:"status"`
+		Tenants int    `json:"tenants"`
 	}
-
-	cancel()
-	select {
-	case err := <-done:
-		if err != nil {
-			t.Fatalf("serve loop: %v", err)
-		}
-	case <-time.After(15 * time.Second):
-		t.Fatal("graceful shutdown timed out")
+	if err := json.NewDecoder(resp.Body).Decode(&health); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if health.Status != "ok" || health.Tenants != 2 {
+		t.Errorf("health: %+v", health)
 	}
 }
 
 func TestRunErrors(t *testing.T) {
-	if err := run("", ":0", 0, 0, 0, "warn", "", "", ""); err == nil {
-		t.Error("missing -bundle accepted")
+	base := config{addr: ":0", logLevel: "warn", replicas: 1}
+	if err := run(base); err == nil {
+		t.Error("no bundle mapping accepted")
 	}
-	if err := run(filepath.Join(t.TempDir(), "nope.json"), ":0", 0, 0, 0, "warn", "", "", ""); err == nil {
+	cfg := base
+	cfg.bundlePath = filepath.Join(t.TempDir(), "nope.json")
+	if err := run(cfg); err == nil {
 		t.Error("nonexistent bundle accepted")
 	}
-	if err := run(trainBundle(t), ":0", 0, 0, 0, "not-a-level", "", "", ""); err == nil {
+	cfg = base
+	cfg.bundlePath = trainBundle(t)
+	cfg.logLevel = "not-a-level"
+	if err := run(cfg); err == nil {
 		t.Error("bad log level accepted")
+	}
+	cfg = base
+	cfg.bundlePath = trainBundle(t)
+	cfg.replicas = 2
+	cfg.replicaIndex = 2
+	if err := run(cfg); err == nil {
+		t.Error("out-of-range replica index accepted")
+	}
+	cfg = base
+	cfg.tenants = tenantFlags{"acme"} // no '='; flag.Var would reject, run sees it raw
+	if err := run(cfg); err == nil {
+		t.Error("unparseable tenant mapping accepted")
 	}
 }
 
-func TestServeBundleRejectsInvalid(t *testing.T) {
-	ln, err := net.Listen("tcp", "127.0.0.1:0")
-	if err != nil {
+func TestTenantFlag(t *testing.T) {
+	var tf tenantFlags
+	if err := tf.Set("acme=/tmp/a.json"); err != nil {
 		t.Fatal(err)
 	}
-	if err := serveBundle(context.Background(), ln, &bundle.Bundle{}, obs.Default(), serve.Options{}); err == nil {
-		t.Error("empty bundle accepted")
+	if err := tf.Set("no-equals"); err == nil {
+		t.Error("mapping without '=' accepted")
+	}
+	if got := tf.String(); got != "acme=/tmp/a.json" {
+		t.Errorf("String() = %q", got)
 	}
 }

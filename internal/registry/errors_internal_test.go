@@ -1,0 +1,52 @@
+package registry
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http/httptest"
+	"testing"
+
+	"datasculpt/internal/obs"
+	"datasculpt/internal/serve"
+)
+
+// TestWriteLabelErrorMapping pins the error→status contract of the
+// label path, including the overload (429 + Retry-After) and shutdown
+// (503) responses that are awkward to provoke deterministically over a
+// live socket.
+func TestWriteLabelErrorMapping(t *testing.T) {
+	g := NewGateway(New(obs.Default(), Options{}), obs.Default(), GatewayOptions{})
+	cases := []struct {
+		err        error
+		status     int
+		code       string
+		retryAfter bool
+	}{
+		{ErrUnknownTenant, 404, "unknown_tenant", false},
+		{serve.ErrOverloaded, 429, "overloaded", true},
+		{serve.ErrClosed, 503, "unavailable", true},
+		{ErrClosed, 503, "unavailable", true},
+		{context.Canceled, 503, "deadline", true},
+		{context.DeadlineExceeded, 503, "deadline", true},
+		{errors.New("boom"), 500, "internal", false},
+	}
+	for _, c := range cases {
+		rec := httptest.NewRecorder()
+		g.writeLabelError(rec, "t", c.err)
+		if rec.Code != c.status {
+			t.Errorf("%v: status %d, want %d", c.err, rec.Code, c.status)
+		}
+		var env errorEnvelope
+		if err := json.Unmarshal(rec.Body.Bytes(), &env); err != nil {
+			t.Errorf("%v: body not an envelope: %v", c.err, err)
+			continue
+		}
+		if env.Error.Code != c.code {
+			t.Errorf("%v: code %q, want %q", c.err, env.Error.Code, c.code)
+		}
+		if got := rec.Header().Get("Retry-After") != ""; got != c.retryAfter {
+			t.Errorf("%v: Retry-After present=%v, want %v", c.err, got, c.retryAfter)
+		}
+	}
+}

@@ -1,0 +1,344 @@
+package registry
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+
+	"datasculpt/internal/bundle"
+	"datasculpt/internal/obs"
+	"datasculpt/internal/serve"
+)
+
+// GatewayOptions configures the HTTP surface.
+type GatewayOptions struct {
+	// DefaultTenant answers the bare /v1/label alias (default "default").
+	DefaultTenant string
+	// Ring, when non-nil, enables tenant sharding: requests for tenants
+	// owned by another replica get 421 with a shard hint instead of an
+	// answer. SelfShard is this replica's index on the ring; Peers[i],
+	// when provided, is advertised as replica i's address in the hint.
+	Ring      *Ring
+	SelfShard int
+	Peers     []string
+	// MaxLabelBytes bounds label request bodies (default 1 MiB);
+	// MaxBundleBytes bounds bundle uploads (default 64 MiB).
+	MaxLabelBytes  int64
+	MaxBundleBytes int64
+}
+
+func (o GatewayOptions) withDefaults() GatewayOptions {
+	if o.DefaultTenant == "" {
+		o.DefaultTenant = "default"
+	}
+	if o.MaxLabelBytes <= 0 {
+		o.MaxLabelBytes = 1 << 20
+	}
+	if o.MaxBundleBytes <= 0 {
+		o.MaxBundleBytes = 64 << 20
+	}
+	return o
+}
+
+// Gateway is the daemon's HTTP surface over a Registry:
+//
+//	POST /v1/tenants/{tenant}/label   — label one text or a batch
+//	POST /v1/label                    — alias for the default tenant
+//	GET  /v1/bundles                  — registered bundles + provenance
+//	POST /v1/bundles/{tenant}         — upload + promote (shadow-gated;
+//	                                    ?force=true skips the gate)
+//	POST /v1/bundles/{tenant}/rollback — return to the previous bundle
+//	GET  /healthz                     — liveness + registry/shard summary
+//	GET  /metrics                     — Prometheus text exposition
+//
+// Every error is the uniform envelope {"error":{"code","message"}}
+// (plus "shard_hint" on 421) with a correct status code.
+type Gateway struct {
+	reg  *Registry
+	o    *obs.Obs
+	opts GatewayOptions
+
+	mMisdirected *obs.Counter
+}
+
+// NewGateway wires the HTTP surface around a registry. The obs bundle
+// may be nil (telemetry disabled).
+func NewGateway(reg *Registry, o *obs.Obs, opts GatewayOptions) *Gateway {
+	if o == nil {
+		o = obs.Default()
+	}
+	g := &Gateway{reg: reg, o: o, opts: opts.withDefaults()}
+	g.mMisdirected = o.Metrics.Counter("serve_misdirected_total",
+		"Requests for tenants owned by another shard (answered 421).")
+	return g
+}
+
+// labelRequest is the label endpoint body: exactly one of text / texts.
+type labelRequest struct {
+	Text    string   `json:"text"`
+	Texts   []string `json:"texts"`
+	Explain bool     `json:"explain"`
+}
+
+// labelResponse is the label endpoint body on success. Prediction is
+// set for single-text requests, Predictions (in request order) for
+// batch requests.
+type labelResponse struct {
+	Tenant      string             `json:"tenant"`
+	Prediction  *serve.Prediction  `json:"prediction,omitempty"`
+	Predictions []serve.Prediction `json:"predictions,omitempty"`
+}
+
+// ShardHint tells a misdirected client which replica owns the tenant.
+type ShardHint struct {
+	Shard int    `json:"shard"`
+	Addr  string `json:"addr,omitempty"`
+}
+
+type apiError struct {
+	Code      string     `json:"code"`
+	Message   string     `json:"message"`
+	ShardHint *ShardHint `json:"shard_hint,omitempty"`
+}
+
+type errorEnvelope struct {
+	Error apiError `json:"error"`
+}
+
+type healthResponse struct {
+	Status   string `json:"status"`
+	Tenants  int    `json:"tenants"`
+	Resident int    `json:"resident"`
+	Shard    int    `json:"shard"`
+	Replicas int    `json:"replicas"`
+}
+
+// Handler returns the gateway's mux.
+func (g *Gateway) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/label", methods("POST", func(w http.ResponseWriter, r *http.Request) {
+		g.handleLabel(w, r, g.opts.DefaultTenant)
+	}))
+	mux.HandleFunc("/v1/tenants/{tenant}/label", methods("POST", func(w http.ResponseWriter, r *http.Request) {
+		g.handleLabel(w, r, r.PathValue("tenant"))
+	}))
+	mux.HandleFunc("/v1/bundles", methods("GET", g.handleBundles))
+	mux.HandleFunc("/v1/bundles/{tenant}", methods("POST", g.handlePromote))
+	mux.HandleFunc("/v1/bundles/{tenant}/rollback", methods("POST", g.handleRollback))
+	mux.HandleFunc("/healthz", methods("GET", g.handleHealth))
+	mux.HandleFunc("/metrics", methods("GET", g.handleMetrics))
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		writeError(w, http.StatusNotFound, "not_found", "no route for %s", r.URL.Path)
+	})
+	return mux
+}
+
+// methods guards a handler: non-matching verbs get 405 with an Allow
+// header and the uniform envelope (the stdlib mux's built-in 405 writes
+// a plain-text body, so method dispatch stays out of the patterns).
+func methods(allow string, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		for _, m := range strings.Split(allow, ", ") {
+			if r.Method == m {
+				h(w, r)
+				return
+			}
+		}
+		w.Header().Set("Allow", allow)
+		writeError(w, http.StatusMethodNotAllowed, "method_not_allowed",
+			"%s is not allowed here; use %s", r.Method, allow)
+	}
+}
+
+// checkShard enforces consistent-hash tenant ownership: a request for a
+// tenant another replica owns is answered 421 with a shard hint, and
+// the client (or a routing proxy) retries against the right replica.
+func (g *Gateway) checkShard(w http.ResponseWriter, tenant string) bool {
+	if g.opts.Ring == nil {
+		return true
+	}
+	owner := g.opts.Ring.Owner(tenant)
+	if owner == g.opts.SelfShard {
+		return true
+	}
+	g.mMisdirected.Inc()
+	hint := &ShardHint{Shard: owner}
+	if owner >= 0 && owner < len(g.opts.Peers) {
+		hint.Addr = g.opts.Peers[owner]
+	}
+	writeErrorHint(w, http.StatusMisdirectedRequest, "wrong_shard", hint,
+		"tenant %q is served by replica %d of %d", tenant, owner, g.opts.Ring.Replicas())
+	return false
+}
+
+func (g *Gateway) handleLabel(w http.ResponseWriter, r *http.Request, tenant string) {
+	if !g.checkShard(w, tenant) {
+		return
+	}
+	r.Body = http.MaxBytesReader(w, r.Body, g.opts.MaxLabelBytes)
+	var req labelRequest
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		var mbe *http.MaxBytesError
+		if errors.As(err, &mbe) {
+			writeError(w, http.StatusRequestEntityTooLarge, "body_too_large",
+				"request body exceeds %d bytes", mbe.Limit)
+			return
+		}
+		writeError(w, http.StatusBadRequest, "bad_request", "decoding request: %v", err)
+		return
+	}
+	single := req.Text != ""
+	if single == (len(req.Texts) > 0) {
+		writeError(w, http.StatusBadRequest, "bad_request", `provide exactly one of "text" and "texts"`)
+		return
+	}
+	texts := req.Texts
+	if single {
+		texts = []string{req.Text}
+	}
+	preds, err := g.reg.Label(r.Context(), tenant, texts, req.Explain)
+	if err != nil {
+		g.writeLabelError(w, tenant, err)
+		return
+	}
+	resp := labelResponse{Tenant: tenant}
+	if single {
+		resp.Prediction = &preds[0]
+	} else {
+		resp.Predictions = preds
+	}
+	writeJSON(w, resp)
+}
+
+func (g *Gateway) writeLabelError(w http.ResponseWriter, tenant string, err error) {
+	switch {
+	case errors.Is(err, ErrUnknownTenant):
+		writeError(w, http.StatusNotFound, "unknown_tenant", "tenant %q is not registered", tenant)
+	case errors.Is(err, serve.ErrOverloaded):
+		writeError(w, http.StatusTooManyRequests, "overloaded",
+			"coalescer queue is full; retry with backoff")
+	case errors.Is(err, serve.ErrClosed), errors.Is(err, ErrClosed):
+		writeError(w, http.StatusServiceUnavailable, "unavailable", "server is shutting down")
+	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+		// The client is gone or out of time; the body is written for
+		// completeness but usually unread.
+		writeError(w, http.StatusServiceUnavailable, "deadline", "request context ended: %v", err)
+	default:
+		writeError(w, http.StatusInternalServerError, "internal", "%v", err)
+	}
+}
+
+func (g *Gateway) handleBundles(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, map[string]any{"bundles": g.reg.List()})
+}
+
+func (g *Gateway) handlePromote(w http.ResponseWriter, r *http.Request) {
+	tenant := r.PathValue("tenant")
+	if !g.checkShard(w, tenant) {
+		return
+	}
+	r.Body = http.MaxBytesReader(w, r.Body, g.opts.MaxBundleBytes)
+	data, err := io.ReadAll(r.Body)
+	if err != nil {
+		var mbe *http.MaxBytesError
+		if errors.As(err, &mbe) {
+			writeError(w, http.StatusRequestEntityTooLarge, "body_too_large",
+				"bundle exceeds %d bytes", mbe.Limit)
+			return
+		}
+		writeError(w, http.StatusBadRequest, "bad_request", "reading body: %v", err)
+		return
+	}
+	b := new(bundle.Bundle)
+	if err := json.Unmarshal(data, b); err != nil {
+		writeError(w, http.StatusBadRequest, "bad_bundle", "%v", err)
+		return
+	}
+	force := r.URL.Query().Get("force") == "true" || r.URL.Query().Get("force") == "1"
+	rep, err := g.reg.Promote(tenant, b, force)
+	switch {
+	case errors.Is(err, ErrShadowGate):
+		writeError(w, http.StatusConflict, "shadow_rejected",
+			"candidate agrees with incumbent on only %.1f%% of %d recent texts (floor %.1f%%); retrain or promote with ?force=true",
+			rep.Agreement*100, rep.ShadowSample, g.reg.opts.ShadowAgreement*100)
+	case errors.Is(err, ErrClosed):
+		writeError(w, http.StatusServiceUnavailable, "unavailable", "server is shutting down")
+	case err != nil:
+		writeError(w, http.StatusBadRequest, "bad_bundle", "%v", err)
+	default:
+		writeJSON(w, rep)
+	}
+}
+
+func (g *Gateway) handleRollback(w http.ResponseWriter, r *http.Request) {
+	tenant := r.PathValue("tenant")
+	if !g.checkShard(w, tenant) {
+		return
+	}
+	rep, err := g.reg.Rollback(tenant)
+	switch {
+	case errors.Is(err, ErrUnknownTenant):
+		writeError(w, http.StatusNotFound, "unknown_tenant", "tenant %q is not registered", tenant)
+	case errors.Is(err, ErrNoPrevious):
+		writeError(w, http.StatusConflict, "no_previous", "tenant %q has no previous bundle", tenant)
+	case errors.Is(err, ErrClosed):
+		writeError(w, http.StatusServiceUnavailable, "unavailable", "server is shutting down")
+	case err != nil:
+		writeError(w, http.StatusBadRequest, "bad_request", "%v", err)
+	default:
+		writeJSON(w, rep)
+	}
+}
+
+func (g *Gateway) handleHealth(w http.ResponseWriter, r *http.Request) {
+	resident := 0
+	infos := g.reg.List()
+	for _, info := range infos {
+		if info.Resident {
+			resident++
+		}
+	}
+	writeJSON(w, healthResponse{
+		Status:   "ok",
+		Tenants:  len(infos),
+		Resident: resident,
+		Shard:    g.opts.SelfShard,
+		Replicas: g.opts.Ring.Replicas(),
+	})
+}
+
+func (g *Gateway) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if g.o.Metrics == nil {
+		writeError(w, http.StatusNotFound, "not_found", "metrics registry disabled")
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	g.o.Metrics.WritePrometheus(w) //nolint:errcheck — client went away
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(v) //nolint:errcheck — client went away
+}
+
+func writeError(w http.ResponseWriter, status int, code, format string, args ...any) {
+	writeErrorHint(w, status, code, nil, format, args...)
+}
+
+func writeErrorHint(w http.ResponseWriter, status int, code string, hint *ShardHint, format string, args ...any) {
+	w.Header().Set("Content-Type", "application/json")
+	if status == http.StatusTooManyRequests || status == http.StatusServiceUnavailable {
+		w.Header().Set("Retry-After", "1")
+	}
+	w.WriteHeader(status)
+	//nolint:errcheck — client went away
+	json.NewEncoder(w).Encode(errorEnvelope{Error: apiError{
+		Code: code, Message: fmt.Sprintf(format, args...), ShardHint: hint,
+	}})
+}

@@ -1,0 +1,701 @@
+// Package registry is the multi-tenant serving layer of DataSculpt-Go:
+// it maps tenant IDs to loaded model bundles, keeps an LRU of mapped
+// bundles so memory stays bounded as the tenant set grows, hot-swaps
+// bundles atomically with zero downtime (promote with a shadow-score
+// gate, roll back to the previous artifact), and shards tenants across
+// daemon replicas with a consistent-hash ring.
+//
+// Residency model: a registered tenant always answers, but only
+// MaxResident tenants keep a live coalescer (a serve.Server) mapped at
+// once. Each mapped server lives behind a refcounted handle — the
+// registry holds one reference, every in-flight Label holds another —
+// so an eviction or hot-swap never interrupts a request: the old
+// server drains and closes only after its last reference is released,
+// while new requests already route to the new one.
+package registry
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"datasculpt/internal/bundle"
+	"datasculpt/internal/dataset"
+	"datasculpt/internal/obs"
+	"datasculpt/internal/serve"
+)
+
+var (
+	// ErrUnknownTenant is returned for tenants never registered.
+	ErrUnknownTenant = errors.New("registry: unknown tenant")
+	// ErrShadowGate is returned by Promote when the candidate bundle
+	// disagrees with the incumbent on too much recent traffic.
+	ErrShadowGate = errors.New("registry: shadow gate rejected bundle")
+	// ErrNoPrevious is returned by Rollback when the tenant has no
+	// earlier bundle to return to.
+	ErrNoPrevious = errors.New("registry: no previous bundle to roll back to")
+	// ErrClosed is returned once Close has begun.
+	ErrClosed = errors.New("registry: closed")
+)
+
+// Options tunes the registry.
+type Options struct {
+	// MaxResident caps how many tenants keep a mapped serve.Server at
+	// once (default 8). Evicted tenants are remapped on demand.
+	MaxResident int
+	// Serve is the coalescer configuration every tenant server runs with.
+	Serve serve.Options
+	// ShadowSample is the per-tenant ring buffer of recent request texts
+	// kept for shadow-scoring promotions (default 256; 0 keeps the
+	// buffer empty, which disables the gate).
+	ShadowSample int
+	// ShadowAgreement is the minimum fraction of the shadow sample on
+	// which a candidate bundle must agree with the incumbent to be
+	// promoted without force (default 0.9).
+	ShadowAgreement float64
+}
+
+func (o Options) withDefaults() Options {
+	if o.MaxResident <= 0 {
+		o.MaxResident = 8
+	}
+	if o.ShadowSample < 0 {
+		o.ShadowSample = 0
+	} else if o.ShadowSample == 0 {
+		o.ShadowSample = 256
+	}
+	if o.ShadowAgreement <= 0 {
+		o.ShadowAgreement = 0.9
+	}
+	return o
+}
+
+// Info describes one registered bundle for the listing API.
+type Info struct {
+	Tenant     string            `json:"tenant"`
+	Resident   bool              `json:"resident"`
+	Source     string            `json:"source"`
+	Generation int               `json:"generation"`
+	Dataset    string            `json:"dataset"`
+	Task       string            `json:"task"`
+	ClassNames []string          `json:"class_names"`
+	NumLFs     int               `json:"num_lfs"`
+	Provenance bundle.Provenance `json:"provenance"`
+}
+
+// PromoteReport is the outcome of a Promote or Rollback: the tenant's
+// new generation and, when the shadow gate ran, what it measured.
+type PromoteReport struct {
+	Tenant     string `json:"tenant"`
+	Generation int    `json:"generation"`
+	// Gated reports whether the shadow gate actually scored the
+	// candidate (it needs an incumbent server and recent traffic).
+	Gated bool `json:"gated"`
+	// ShadowSample is how many recent texts were scored; Agreement the
+	// fraction on which candidate and incumbent predicted the same class.
+	ShadowSample int     `json:"shadow_sample"`
+	Agreement    float64 `json:"agreement"`
+}
+
+// handle is one mapped serve.Server plus its reference count. It is
+// created with one reference (the registry's); every in-flight request
+// takes another. When the count hits zero the server is closed — which
+// drains its queue — and done is closed, so code that wants to re-serve
+// the same bundle object can wait for the old server to be fully gone.
+type handle struct {
+	srv  *serve.Server
+	b    *bundle.Bundle
+	refs atomic.Int64
+	done chan struct{}
+}
+
+func newHandle(srv *serve.Server, b *bundle.Bundle) *handle {
+	h := &handle{srv: srv, b: b, done: make(chan struct{})}
+	h.refs.Store(1)
+	return h
+}
+
+// acquire takes a reference; it fails (false) once the count has hit
+// zero — the handle is already closing and must not be revived.
+func (h *handle) acquire() bool {
+	for {
+		n := h.refs.Load()
+		if n <= 0 {
+			return false
+		}
+		if h.refs.CompareAndSwap(n, n+1) {
+			return true
+		}
+	}
+}
+
+func (h *handle) release() {
+	if h.refs.Add(-1) == 0 {
+		h.srv.Close()
+		close(h.done)
+	}
+}
+
+// entry is one registered tenant.
+type entry struct {
+	tenant string
+
+	// mu serializes mapping, promotion, and rollback for this tenant.
+	// The Label fast path does not take it.
+	mu sync.Mutex
+	// cur is the mapped server, nil when evicted or not yet loaded.
+	cur atomic.Pointer[handle]
+	// lastHandle is the most recently created handle for this entry,
+	// kept so a remap of the same bundle object can wait for the old
+	// server (which shares the bundle's worker knobs) to finish closing.
+	lastHandle *handle
+	// pinned is the in-memory bundle served for tenants whose content
+	// does not live on disk (uploads, promotions); nil means reload
+	// from source on demand.
+	pinned *bundle.Bundle
+	source string
+	// prev / prevSource / prevHandle record the bundle a Rollback
+	// returns to, and the handle that last served it.
+	prev       *bundle.Bundle
+	prevSource string
+	prevHandle *handle
+	gen        int
+	info       atomic.Pointer[Info]
+
+	// recent is a ring buffer of the tenant's latest request texts —
+	// the shadow-scoring sample for promotions.
+	recentMu sync.Mutex
+	recent   []string
+	recentN  int
+
+	lastUsed int64 // LRU clock; guarded by Registry.mu
+}
+
+func (e *entry) setInfo(b *bundle.Bundle, source string, gen int) {
+	e.info.Store(&Info{
+		Tenant:     e.tenant,
+		Source:     source,
+		Generation: gen,
+		Dataset:    b.Dataset.Name,
+		Task:       b.Dataset.Task,
+		ClassNames: append([]string(nil), b.Dataset.ClassNames...),
+		NumLFs:     len(b.LFs),
+		Provenance: b.Provenance,
+	})
+}
+
+func (e *entry) recordRecent(texts []string, cap int) {
+	if cap <= 0 {
+		return
+	}
+	e.recentMu.Lock()
+	for _, t := range texts {
+		if len(e.recent) < cap {
+			e.recent = append(e.recent, t)
+		} else {
+			e.recent[e.recentN%cap] = t
+		}
+		e.recentN++
+	}
+	e.recentMu.Unlock()
+}
+
+func (e *entry) sampleRecent() []string {
+	e.recentMu.Lock()
+	defer e.recentMu.Unlock()
+	return append([]string(nil), e.recent...)
+}
+
+// Registry maps tenants to bundles and serves them. Safe for
+// concurrent use.
+type Registry struct {
+	opts Options
+	o    *obs.Obs
+
+	mu      sync.Mutex
+	tenants map[string]*entry
+	order   []string // registration order, for stable listings
+	clock   int64
+	closed  bool
+
+	mLoads     *obs.Counter
+	mEvictions *obs.Counter
+	mSwaps     *obs.Counter
+	mRollbacks *obs.Counter
+	mShadowRej *obs.Counter
+	mResident  *obs.Gauge
+	mTenants   *obs.Gauge
+}
+
+// New builds an empty registry. The obs bundle may be nil (telemetry
+// disabled).
+func New(o *obs.Obs, opts Options) *Registry {
+	if o == nil {
+		o = obs.Default()
+	}
+	r := &Registry{
+		opts:    opts.withDefaults(),
+		o:       o,
+		tenants: make(map[string]*entry),
+	}
+	reg := o.Metrics
+	r.mLoads = reg.Counter("serve_bundle_loads_total", "Bundles mapped into a live server (registrations, reloads, promotions).")
+	r.mEvictions = reg.Counter("serve_bundle_evictions_total", "Resident bundles unmapped by the LRU.")
+	r.mSwaps = reg.Counter("serve_bundle_swaps_total", "Hot-swap promotions applied.")
+	r.mRollbacks = reg.Counter("serve_bundle_rollbacks_total", "Rollbacks applied.")
+	r.mShadowRej = reg.Counter("serve_shadow_rejects_total", "Promotions rejected by the shadow-score gate.")
+	r.mResident = reg.Gauge("serve_bundles_resident", "Tenants with a mapped server right now.")
+	r.mTenants = reg.Gauge("serve_tenants", "Registered tenants.")
+	return r
+}
+
+func validTenant(tenant string) error {
+	if tenant == "" {
+		return errors.New("registry: empty tenant id")
+	}
+	if strings.ContainsAny(tenant, "/ \t\n") {
+		return fmt.Errorf("registry: tenant id %q contains a separator", tenant)
+	}
+	return nil
+}
+
+// Register maps a tenant to a bundle file. The bundle is loaded and
+// validated eagerly (a broken artifact fails registration, not the
+// first request) but may be evicted and reloaded from path later.
+func (r *Registry) Register(tenant, path string) error {
+	b, err := bundle.Load(path)
+	if err != nil {
+		return err
+	}
+	return r.install(tenant, b, path, false)
+}
+
+// RegisterBundle maps a tenant to an in-memory bundle, which stays
+// pinned (evictions close its server but keep the bundle). The caller
+// must hand over ownership: the registry adjusts the bundle's worker
+// configuration and the same *Bundle must not be registered twice.
+func (r *Registry) RegisterBundle(tenant string, b *bundle.Bundle) error {
+	if b == nil {
+		return errors.New("registry: nil bundle")
+	}
+	if err := b.Validate(); err != nil {
+		return err
+	}
+	return r.install(tenant, b, "inline", true)
+}
+
+func (r *Registry) install(tenant string, b *bundle.Bundle, source string, pin bool) error {
+	if err := validTenant(tenant); err != nil {
+		return err
+	}
+	e := &entry{tenant: tenant, source: source}
+	if pin {
+		e.pinned = b
+	}
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		return ErrClosed
+	}
+	if _, exists := r.tenants[tenant]; exists {
+		r.mu.Unlock()
+		return fmt.Errorf("registry: tenant %q already registered", tenant)
+	}
+	r.tenants[tenant] = e
+	r.order = append(r.order, tenant)
+	r.clock++
+	e.lastUsed = r.clock
+	r.mTenants.Set(float64(len(r.tenants)))
+	r.mu.Unlock()
+
+	e.mu.Lock()
+	srv, err := serve.New(b, r.o, r.opts.Serve)
+	if err != nil {
+		e.mu.Unlock()
+		r.mu.Lock()
+		delete(r.tenants, tenant)
+		r.order = r.order[:len(r.order)-1]
+		r.mTenants.Set(float64(len(r.tenants)))
+		r.mu.Unlock()
+		return err
+	}
+	h := newHandle(srv, b)
+	e.lastHandle = h
+	e.setInfo(b, source, 0)
+	e.cur.Store(h)
+	e.mu.Unlock()
+	r.mLoads.Inc()
+	r.rebalance(e)
+	return nil
+}
+
+// Tenants returns the registered tenant IDs in registration order.
+func (r *Registry) Tenants() []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]string(nil), r.order...)
+}
+
+// Has reports whether tenant is registered.
+func (r *Registry) Has(tenant string) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	_, ok := r.tenants[tenant]
+	return ok
+}
+
+// List describes every registered bundle, in registration order.
+func (r *Registry) List() []Info {
+	r.mu.Lock()
+	entries := make([]*entry, 0, len(r.order))
+	for _, t := range r.order {
+		entries = append(entries, r.tenants[t])
+	}
+	r.mu.Unlock()
+	out := make([]Info, 0, len(entries))
+	for _, e := range entries {
+		info := e.info.Load()
+		if info == nil {
+			continue
+		}
+		cp := *info
+		cp.Resident = e.cur.Load() != nil
+		out = append(out, cp)
+	}
+	return out
+}
+
+// Label routes one labeling request to the tenant's server, mapping the
+// bundle in first if the LRU had evicted it. The texts are recorded in
+// the tenant's shadow sample.
+func (r *Registry) Label(ctx context.Context, tenant string, texts []string, explain bool) ([]serve.Prediction, error) {
+	h, e, err := r.acquireServer(tenant)
+	if err != nil {
+		return nil, err
+	}
+	defer h.release()
+	e.recordRecent(texts, r.opts.ShadowSample)
+	return h.srv.Label(ctx, texts, explain)
+}
+
+// acquireServer returns a referenced handle for the tenant's current
+// server; the caller must release it.
+func (r *Registry) acquireServer(tenant string) (*handle, *entry, error) {
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		return nil, nil, ErrClosed
+	}
+	e := r.tenants[tenant]
+	if e == nil {
+		r.mu.Unlock()
+		return nil, nil, ErrUnknownTenant
+	}
+	r.clock++
+	e.lastUsed = r.clock
+	r.mu.Unlock()
+
+	for {
+		if h := e.cur.Load(); h != nil && h.acquire() {
+			return h, e, nil
+		}
+		e.mu.Lock()
+		if h := e.cur.Load(); h != nil && h.acquire() {
+			e.mu.Unlock()
+			return h, e, nil
+		}
+		h, err := r.mapIn(e)
+		if err != nil {
+			e.mu.Unlock()
+			return nil, nil, err
+		}
+		ok := h.acquire()
+		e.mu.Unlock()
+		if ok {
+			return h, e, nil
+		}
+		// The freshly mapped server was already evicted by a racing
+		// tenant storm — take the slow path again.
+	}
+}
+
+// mapIn (entry.mu held) maps the tenant's bundle into a live server.
+func (r *Registry) mapIn(e *entry) (*handle, error) {
+	b := e.pinned
+	if b == nil {
+		var err error
+		b, err = bundle.Load(e.source)
+		if err != nil {
+			return nil, err
+		}
+	} else if e.lastHandle != nil {
+		// Re-serving the exact bundle object a previous server used:
+		// wait for that server to finish closing so the two never share
+		// the bundle's mutable worker configuration.
+		<-e.lastHandle.done
+	}
+	srv, err := serve.New(b, r.o, r.opts.Serve)
+	if err != nil {
+		return nil, err
+	}
+	h := newHandle(srv, b)
+	e.lastHandle = h
+	e.cur.Store(h)
+	r.mLoads.Inc()
+	r.rebalance(e)
+	return h, nil
+}
+
+// rebalance evicts least-recently-used resident tenants (never keep)
+// until at most MaxResident servers are mapped. Handles are released
+// outside the registry lock; each closes once its in-flight requests
+// drain.
+func (r *Registry) rebalance(keep *entry) {
+	var releases []*handle
+	r.mu.Lock()
+	resident := 0
+	for _, e := range r.tenants {
+		if e.cur.Load() != nil {
+			resident++
+		}
+	}
+	for resident > r.opts.MaxResident {
+		var victim *entry
+		for _, e := range r.tenants {
+			if e == keep {
+				continue
+			}
+			if e.cur.Load() == nil {
+				continue
+			}
+			if victim == nil || e.lastUsed < victim.lastUsed {
+				victim = e
+			}
+		}
+		if victim == nil {
+			break
+		}
+		h := victim.cur.Load()
+		if h == nil || !victim.cur.CompareAndSwap(h, nil) {
+			continue // lost a race with a swap on this entry; re-count
+		}
+		resident--
+		r.mEvictions.Inc()
+		releases = append(releases, h)
+	}
+	r.mResident.Set(float64(resident))
+	r.mu.Unlock()
+	for _, h := range releases {
+		h.release()
+	}
+}
+
+// Promote hot-swaps the tenant's bundle for nb with zero downtime:
+// in-flight requests finish on the old server, new requests route to
+// the new one the moment the pointer swaps. Unless force is set, a
+// shadow gate first replays the tenant's recent traffic sample through
+// both bundles and rejects the candidate (ErrShadowGate, with the
+// report carrying the measured agreement) when they disagree on more
+// than 1-ShadowAgreement of it. Promoting an unregistered tenant
+// registers it.
+func (r *Registry) Promote(tenant string, nb *bundle.Bundle, force bool) (*PromoteReport, error) {
+	if nb == nil {
+		return nil, errors.New("registry: nil bundle")
+	}
+	if err := nb.Validate(); err != nil {
+		return nil, err
+	}
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		return nil, ErrClosed
+	}
+	e := r.tenants[tenant]
+	if e != nil {
+		r.clock++
+		e.lastUsed = r.clock
+	}
+	r.mu.Unlock()
+	if e == nil {
+		if err := r.install(tenant, nb, "api-promote", true); err != nil {
+			return nil, err
+		}
+		return &PromoteReport{Tenant: tenant}, nil
+	}
+
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	old := e.cur.Load()
+	rep := &PromoteReport{Tenant: tenant}
+	if !force && old != nil {
+		if sample := e.sampleRecent(); len(sample) > 0 {
+			rep.Gated = true
+			rep.ShadowSample = len(sample)
+			rep.Agreement = shadowAgreement(old.b, nb, sample)
+			if rep.Agreement < r.opts.ShadowAgreement {
+				r.mShadowRej.Inc()
+				return rep, ErrShadowGate
+			}
+		}
+	}
+	srv, err := serve.New(nb, r.o, r.opts.Serve)
+	if err != nil {
+		return nil, err
+	}
+	h := newHandle(srv, nb)
+	// The outgoing bundle becomes the rollback target.
+	switch {
+	case old != nil:
+		e.prev, e.prevSource, e.prevHandle = old.b, "", old
+	case e.pinned != nil:
+		e.prev, e.prevSource, e.prevHandle = e.pinned, "", e.lastHandle
+	default:
+		e.prev, e.prevSource, e.prevHandle = nil, e.source, nil
+	}
+	e.lastHandle = h
+	e.pinned = nb
+	e.source = ""
+	e.gen++
+	rep.Generation = e.gen
+	e.setInfo(nb, "api-promote", e.gen)
+	if old == nil {
+		e.cur.Store(h)
+	} else if e.cur.CompareAndSwap(old, h) {
+		old.release()
+	} else {
+		// old was evicted between our load and the swap; the LRU
+		// already released it.
+		e.cur.Store(h)
+	}
+	r.mSwaps.Inc()
+	r.mLoads.Inc()
+	r.rebalance(e)
+	return rep, nil
+}
+
+// Rollback re-promotes the tenant's previous bundle (the one the last
+// Promote or Rollback displaced), without a shadow gate. The displaced
+// current bundle becomes the new rollback target, so two rollbacks
+// toggle between the last two artifacts.
+func (r *Registry) Rollback(tenant string) (*PromoteReport, error) {
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		return nil, ErrClosed
+	}
+	e := r.tenants[tenant]
+	if e != nil {
+		r.clock++
+		e.lastUsed = r.clock
+	}
+	r.mu.Unlock()
+	if e == nil {
+		return nil, ErrUnknownTenant
+	}
+
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.prev == nil && e.prevSource == "" {
+		return nil, ErrNoPrevious
+	}
+	pb := e.prev
+	if pb == nil {
+		var err error
+		pb, err = bundle.Load(e.prevSource)
+		if err != nil {
+			return nil, err
+		}
+	}
+	old := e.cur.Load()
+	// Capture the new rollback target before overwriting it.
+	var newPrev *bundle.Bundle
+	var newPrevSource string
+	var newPrevHandle *handle
+	switch {
+	case old != nil:
+		newPrev, newPrevHandle = old.b, old
+	case e.pinned != nil:
+		newPrev, newPrevHandle = e.pinned, e.lastHandle
+	default:
+		newPrevSource = e.source
+	}
+	// Unmap the current server first so its drain cannot overlap the
+	// previous bundle's new server.
+	if old != nil && e.cur.CompareAndSwap(old, nil) {
+		old.release()
+	}
+	if e.prev != nil && e.prevHandle != nil {
+		// Wait for the server that last served pb to be fully closed
+		// before building a new one over the same object.
+		<-e.prevHandle.done
+	}
+	srv, err := serve.New(pb, r.o, r.opts.Serve)
+	if err != nil {
+		r.rebalance(e)
+		return nil, err
+	}
+	h := newHandle(srv, pb)
+	e.lastHandle = h
+	e.pinned = pb
+	e.source = ""
+	e.prev, e.prevSource, e.prevHandle = newPrev, newPrevSource, newPrevHandle
+	e.gen++
+	e.setInfo(pb, "rollback", e.gen)
+	e.cur.Store(h)
+	r.mRollbacks.Inc()
+	r.mLoads.Inc()
+	r.rebalance(e)
+	return &PromoteReport{Tenant: tenant, Generation: e.gen}, nil
+}
+
+// Close unmaps every tenant and waits for all servers to drain their
+// in-flight requests. Further calls return ErrClosed. Idempotent.
+func (r *Registry) Close() {
+	r.mu.Lock()
+	r.closed = true
+	entries := make([]*entry, 0, len(r.tenants))
+	for _, e := range r.tenants {
+		entries = append(entries, e)
+	}
+	r.mu.Unlock()
+	for _, e := range entries {
+		e.mu.Lock()
+		if h := e.cur.Load(); h != nil && e.cur.CompareAndSwap(h, nil) {
+			h.release()
+		}
+		last, prev := e.lastHandle, e.prevHandle
+		e.mu.Unlock()
+		if prev != nil {
+			<-prev.done
+		}
+		if last != nil {
+			<-last.done
+		}
+	}
+	r.rebalance(nil)
+}
+
+// shadowAgreement replays texts through both bundles offline (the same
+// featurize→predict path serving uses) and returns the fraction on
+// which they predict the same class name. Names, not indices: a
+// candidate trained with reordered or different classes must not
+// silently pass.
+func shadowAgreement(old, nb *bundle.Bundle, texts []string) float64 {
+	corpus := make([][]string, len(texts))
+	for i, t := range texts {
+		e := &dataset.Example{ID: -1, Text: t, Label: dataset.NoLabel, E1Pos: -1, E2Pos: -1}
+		corpus[i] = e.FeatureTokens()
+	}
+	po := old.EndModel.Predict(old.Featurizer.TransformAll(corpus))
+	pn := nb.EndModel.Predict(nb.Featurizer.TransformAll(corpus))
+	agree := 0
+	for i := range po {
+		if old.Dataset.ClassNames[po[i]] == nb.Dataset.ClassNames[pn[i]] {
+			agree++
+		}
+	}
+	return float64(agree) / float64(len(po))
+}

@@ -1,0 +1,102 @@
+package registry
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+)
+
+// Ring is a consistent-hash ring assigning tenants to daemon replicas.
+// Every replica owns vnodes points on a 64-bit circle; a tenant belongs
+// to the replica owning the first point at or clockwise after the
+// tenant's hash. Growing or shrinking the replica set by one remaps
+// only the expected 1/N of tenants (the arcs the new replica claims or
+// the removed replica frees) — every other tenant keeps its owner, so
+// a rolling resize invalidates almost no bundle residency.
+//
+// All replicas must build the ring from the same (replicas, vnodes)
+// pair: the point set is a pure function of those two numbers, so the
+// ownership map is identical on every daemon with no coordination.
+type Ring struct {
+	replicas int
+	points   []ringPoint // sorted by hash
+}
+
+type ringPoint struct {
+	hash    uint64
+	replica int
+}
+
+// DefaultVnodes is the per-replica virtual-node count used when
+// NewRing is given vnodes <= 0. 128 points per replica keeps the
+// max/min tenant-share ratio near 1 for small replica counts.
+const DefaultVnodes = 128
+
+// NewRing builds the ring for a replica set of the given size.
+// replicas < 1 is treated as 1 (a single daemon owns everything).
+func NewRing(replicas, vnodes int) *Ring {
+	if replicas < 1 {
+		replicas = 1
+	}
+	if vnodes <= 0 {
+		vnodes = DefaultVnodes
+	}
+	points := make([]ringPoint, 0, replicas*vnodes)
+	for rep := 0; rep < replicas; rep++ {
+		for v := 0; v < vnodes; v++ {
+			points = append(points, ringPoint{
+				hash:    hash64(fmt.Sprintf("replica-%d/vnode-%d", rep, v)),
+				replica: rep,
+			})
+		}
+	}
+	sort.Slice(points, func(i, j int) bool {
+		if points[i].hash != points[j].hash {
+			return points[i].hash < points[j].hash
+		}
+		// Equal hashes (vanishingly rare): lower replica wins, on every
+		// daemon identically.
+		return points[i].replica < points[j].replica
+	})
+	return &Ring{replicas: replicas, points: points}
+}
+
+// Replicas returns the replica-set size the ring was built for.
+func (r *Ring) Replicas() int {
+	if r == nil {
+		return 1
+	}
+	return r.replicas
+}
+
+// Owner returns the replica index (0..Replicas-1) that serves tenant.
+// A nil or single-replica ring owns everything at replica 0.
+func (r *Ring) Owner(tenant string) int {
+	if r == nil || r.replicas <= 1 || len(r.points) == 0 {
+		return 0
+	}
+	h := hash64(tenant)
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	if i == len(r.points) {
+		i = 0 // wrap: past the last point, the first point owns the arc
+	}
+	return r.points[i].replica
+}
+
+// hash64 hashes a key to a ring position: FNV-64a followed by a 64-bit
+// avalanche finalizer (MurmurHash3's fmix64). Raw FNV barely diffuses
+// its final bytes — keys differing only in a trailing digit land within
+// ~2^44 of each other, clustering both the vnode points and sequential
+// tenant IDs onto the same arcs — so the finalizer is what actually
+// makes ownership shares uniform.
+func hash64(s string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(s))
+	x := h.Sum64()
+	x ^= x >> 33
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 33
+	x *= 0xc4ceb9fe1a85ec53
+	x ^= x >> 33
+	return x
+}

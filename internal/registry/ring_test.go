@@ -1,0 +1,99 @@
+package registry_test
+
+import (
+	"fmt"
+	"testing"
+
+	"datasculpt/internal/registry"
+)
+
+func ringTenants(n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = fmt.Sprintf("tenant-%04d", i)
+	}
+	return out
+}
+
+// TestRingDeterminism: two rings built from the same (replicas, vnodes)
+// pair assign every tenant identically — the property that lets every
+// daemon compute ownership with no coordination.
+func TestRingDeterminism(t *testing.T) {
+	a := registry.NewRing(5, 0)
+	b := registry.NewRing(5, 0)
+	for _, tenant := range ringTenants(500) {
+		if a.Owner(tenant) != b.Owner(tenant) {
+			t.Fatalf("tenant %s: %d vs %d on identical rings", tenant, a.Owner(tenant), b.Owner(tenant))
+		}
+	}
+}
+
+// TestRingOwnersInRange: every owner is a valid replica index, for every
+// replica-set size, and degenerate rings own everything at replica 0.
+func TestRingOwnersInRange(t *testing.T) {
+	tenants := ringTenants(200)
+	for n := 1; n <= 6; n++ {
+		r := registry.NewRing(n, 0)
+		if r.Replicas() != n {
+			t.Fatalf("Replicas() = %d, want %d", r.Replicas(), n)
+		}
+		for _, tenant := range tenants {
+			if o := r.Owner(tenant); o < 0 || o >= n {
+				t.Fatalf("replicas=%d tenant %s: owner %d out of range", n, tenant, o)
+			}
+		}
+	}
+	var nilRing *registry.Ring
+	if nilRing.Owner("x") != 0 || nilRing.Replicas() != 1 {
+		t.Error("nil ring must own everything at replica 0")
+	}
+	if registry.NewRing(0, 0).Owner("x") != 0 {
+		t.Error("0-replica ring must clamp to a single replica")
+	}
+}
+
+// TestRingBalance: with the default vnode count, no replica's tenant
+// share strays far from the uniform mean.
+func TestRingBalance(t *testing.T) {
+	const replicas = 4
+	tenants := ringTenants(2000)
+	counts := make([]int, replicas)
+	r := registry.NewRing(replicas, 0)
+	for _, tenant := range tenants {
+		counts[r.Owner(tenant)]++
+	}
+	mean := float64(len(tenants)) / replicas
+	for rep, c := range counts {
+		if float64(c) > 2*mean || float64(c) < 0.35*mean {
+			t.Errorf("replica %d owns %d of %d tenants (mean %.0f): too skewed", rep, c, len(tenants), mean)
+		}
+	}
+}
+
+// TestRingStability is the consistent-hashing contract: growing the
+// replica set from N to N+1 remaps only the tenants the new replica
+// claims — every remapped tenant moves TO replica N, and the remapped
+// fraction stays near 1/(N+1) rather than reshuffling everything.
+func TestRingStability(t *testing.T) {
+	tenants := ringTenants(2000)
+	for n := 1; n <= 5; n++ {
+		small := registry.NewRing(n, 0)
+		big := registry.NewRing(n+1, 0)
+		moved := 0
+		for _, tenant := range tenants {
+			before, after := small.Owner(tenant), big.Owner(tenant)
+			if before == after {
+				continue
+			}
+			moved++
+			if after != n {
+				t.Fatalf("replicas %d->%d tenant %s: moved %d->%d, but only the new replica %d may claim tenants",
+					n, n+1, tenant, before, after, n)
+			}
+		}
+		expected := float64(len(tenants)) / float64(n+1)
+		if f := float64(moved); f > 2*expected || f < 0.35*expected {
+			t.Errorf("replicas %d->%d: %d tenants moved, expected about %.0f", n, n+1, moved, expected)
+		}
+	}
+}

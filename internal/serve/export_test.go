@@ -1,0 +1,6 @@
+package serve
+
+// SetBeforeBatch installs a hook run at the head of every process()
+// call. Test-only: the admission tests use it to hold the batch loop
+// still while they fill the queue deterministically.
+func (s *Server) SetBeforeBatch(f func()) { s.beforeBatch = f }

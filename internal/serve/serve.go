@@ -29,6 +29,11 @@ import (
 // ErrClosed is returned by Label once Close has begun.
 var ErrClosed = errors.New("serve: server closed")
 
+// ErrOverloaded is returned by Label when admitting the request would
+// push the coalescer queue past Options.QueueDepth. The caller should
+// shed the request (HTTP 429) rather than retry immediately.
+var ErrOverloaded = errors.New("serve: coalescer queue full")
+
 // Options tunes the coalescer.
 type Options struct {
 	// MaxBatch caps how many texts one batch carries (default 64).
@@ -39,6 +44,12 @@ type Options struct {
 	// Workers bounds the goroutines featurization and prediction fan out
 	// over per batch (<= 1 sequential; output is identical either way).
 	Workers int
+	// QueueDepth bounds how many texts may wait in the coalescer queue
+	// (default 16*MaxBatch). Label sheds with ErrOverloaded instead of
+	// queueing beyond it. A single request larger than the whole queue
+	// is admitted only when the queue is idle, so oversized offline-style
+	// batches still make progress without unbounding memory.
+	QueueDepth int
 }
 
 func (o Options) withDefaults() Options {
@@ -47,6 +58,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.MaxWait <= 0 {
 		o.MaxWait = 2 * time.Millisecond
+	}
+	if o.QueueDepth <= 0 {
+		o.QueueDepth = 16 * o.MaxBatch
 	}
 	return o
 }
@@ -74,8 +88,13 @@ type Prediction struct {
 }
 
 // request is one Label call in flight: its examples, its result slots,
-// and the countdown that fires done when every slot is filled.
+// and the countdown that fires done when every slot is filled. ctx is
+// the caller's context: once it is cancelled the batch loop drops the
+// request's remaining queue items instead of featurizing them, so a
+// client that disconnected before its micro-batch fired does not
+// consume batch capacity.
 type request struct {
+	ctx       context.Context
 	examples  []*dataset.Example
 	preds     []Prediction
 	explain   bool
@@ -98,16 +117,25 @@ type Server struct {
 
 	queue     chan batchItem
 	quit      chan struct{}
+	depth     atomic.Int64 // texts admitted but not yet dequeued
 	mu        sync.Mutex
 	closed    bool
 	producers sync.WaitGroup
 	loop      sync.WaitGroup
 
+	// beforeBatch, when non-nil, runs at the head of every process()
+	// call. Test hook: lets the admission tests hold the batch loop
+	// still while they fill the queue deterministically.
+	beforeBatch func()
+
 	mRequests *obs.Counter
 	mTexts    *obs.Counter
 	mBatches  *obs.Counter
 	mErrors   *obs.Counter
+	mShed     *obs.Counter
+	mDropped  *obs.Counter
 	mInflight *obs.Gauge
+	mQueue    *obs.Gauge
 	mBatchSz  *obs.Histogram
 	mLatency  *obs.Histogram
 }
@@ -133,7 +161,7 @@ func New(b *bundle.Bundle, o *obs.Obs, opts Options) (*Server, error) {
 		b:     b,
 		opts:  opts,
 		o:     o,
-		queue: make(chan batchItem, 4*opts.MaxBatch),
+		queue: make(chan batchItem, opts.QueueDepth),
 		quit:  make(chan struct{}),
 	}
 	if b.LabelModel != nil {
@@ -144,7 +172,10 @@ func New(b *bundle.Bundle, o *obs.Obs, opts Options) (*Server, error) {
 	s.mTexts = reg.Counter("serve_texts_total", "Texts labeled.")
 	s.mBatches = reg.Counter("serve_batches_total", "Micro-batches dispatched.")
 	s.mErrors = reg.Counter("serve_errors_total", "Requests that failed.")
+	s.mShed = reg.Counter("serve_shed_total", "Requests rejected by admission control (queue full).")
+	s.mDropped = reg.Counter("serve_dropped_total", "Queued texts dropped because their request's context ended before the batch fired.")
 	s.mInflight = reg.Gauge("serve_inflight", "Label requests currently in flight.")
+	s.mQueue = reg.Gauge("serve_queue_depth", "Texts admitted to the coalescer queue and not yet dequeued.")
 	s.mBatchSz = reg.Histogram("serve_batch_size", "Texts per dispatched micro-batch.", obs.BatchSizeBuckets)
 	s.mLatency = reg.Histogram("serve_request_seconds", "Label request latency.", obs.DurationBuckets)
 
@@ -159,7 +190,10 @@ func (s *Server) Bundle() *bundle.Bundle { return s.b }
 
 // Label labels texts and returns one prediction per text, in order. It
 // blocks until the batch loop has processed every text (or ctx is
-// cancelled). Safe for concurrent use.
+// cancelled). When admitting the texts would push the queue past
+// Options.QueueDepth it returns ErrOverloaded immediately instead of
+// blocking — admission control, not backpressure. Safe for concurrent
+// use.
 func (s *Server) Label(ctx context.Context, texts []string, explain bool) ([]Prediction, error) {
 	if len(texts) == 0 {
 		return nil, errors.New("serve: empty request")
@@ -169,11 +203,17 @@ func (s *Server) Label(ctx context.Context, texts []string, explain bool) ([]Pre
 	span.SetInt("texts", int64(len(texts)))
 	defer span.End()
 	s.mRequests.Inc()
+	if err := s.admit(len(texts)); err != nil {
+		s.mShed.Inc()
+		span.SetErr(err)
+		return nil, err
+	}
 	s.mTexts.AddInt(len(texts))
 	s.mInflight.Add(1)
 	defer s.mInflight.Add(-1)
 
 	req := &request{
+		ctx:      ctx,
 		examples: make([]*dataset.Example, len(texts)),
 		preds:    make([]Prediction, len(texts)),
 		explain:  explain,
@@ -190,6 +230,7 @@ func (s *Server) Label(ctx context.Context, texts []string, explain bool) ([]Pre
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
+		s.mQueue.Set(float64(s.depth.Add(-int64(len(texts)))))
 		s.mErrors.Inc()
 		span.SetErr(ErrClosed)
 		return nil, ErrClosed
@@ -210,6 +251,29 @@ func (s *Server) Label(ctx context.Context, texts []string, explain bool) ([]Pre
 		span.SetErr(ctx.Err())
 		return nil, fmt.Errorf("serve: %w", ctx.Err())
 	}
+}
+
+// admit reserves n queue slots, or fails with ErrOverloaded when the
+// reservation would exceed QueueDepth. A request wider than the whole
+// queue is admitted only against an idle queue (its channel sends then
+// block until the batch loop drains them — memory stays bounded by the
+// request itself).
+func (s *Server) admit(n int) error {
+	for {
+		cur := s.depth.Load()
+		if cur > 0 && cur+int64(n) > int64(s.opts.QueueDepth) {
+			return ErrOverloaded
+		}
+		if s.depth.CompareAndSwap(cur, cur+int64(n)) {
+			s.mQueue.Set(float64(cur + int64(n)))
+			return nil
+		}
+	}
+}
+
+// dequeued records that one item left the queue for a batch.
+func (s *Server) dequeued() {
+	s.mQueue.Set(float64(s.depth.Add(-1)))
 }
 
 // Close stops accepting requests, waits for enqueued texts to be
@@ -236,11 +300,13 @@ func (s *Server) batchLoop() {
 	for {
 		select {
 		case it := <-s.queue:
+			s.dequeued()
 			s.process(s.fill(it))
 		case <-s.quit:
 			for {
 				select {
 				case it := <-s.queue:
+					s.dequeued()
 					s.process(s.fill(it))
 				default:
 					return
@@ -260,6 +326,7 @@ func (s *Server) fill(first batchItem) []batchItem {
 	for len(batch) < s.opts.MaxBatch {
 		select {
 		case it := <-s.queue:
+			s.dequeued()
 			batch = append(batch, it)
 		case <-timer.C:
 			return batch
@@ -269,6 +336,7 @@ func (s *Server) fill(first batchItem) []batchItem {
 			for len(batch) < s.opts.MaxBatch {
 				select {
 				case it := <-s.queue:
+					s.dequeued()
 					batch = append(batch, it)
 				default:
 					return batch
@@ -286,11 +354,39 @@ func (s *Server) fill(first batchItem) []batchItem {
 // rule as LogisticRegression.Predict (softmax is monotone, so the argmax
 // is identical).
 func (s *Server) process(batch []batchItem) {
+	if s.beforeBatch != nil {
+		s.beforeBatch()
+	}
 	s.mBatches.Inc()
 	s.mBatchSz.Observe(float64(len(batch)))
 	span := s.o.Tracer.StartSpan("serve.batch")
 	span.SetInt("size", int64(len(batch)))
 	defer span.End()
+
+	// Deadline-aware drop: a request whose context ended (client gone,
+	// deadline blown) gets its items discarded instead of featurized —
+	// only its bookkeeping is settled. Skipping items cannot perturb
+	// other results: the hot path is per-example independent.
+	live := batch[:0]
+	dropped := 0
+	for _, it := range batch {
+		if it.req.ctx != nil && it.req.ctx.Err() != nil {
+			dropped++
+			if it.req.remaining.Add(-1) == 0 {
+				close(it.req.done)
+			}
+			continue
+		}
+		live = append(live, it)
+	}
+	if dropped > 0 {
+		s.mDropped.AddInt(dropped)
+	}
+	batch = live
+	if len(batch) == 0 {
+		span.SetInt("dropped", int64(dropped))
+		return
+	}
 
 	corpus := make([][]string, len(batch))
 	for i, it := range batch {
