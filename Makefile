@@ -10,9 +10,9 @@ GO ?= go
 # pass.
 COVERAGE_FLOOR = 82.8
 
-.PHONY: ci vet build test race chaos stress fuzz-smoke cover-check bench bench-grid bench-json bench-smoke bench-serve bench-serve-smoke clean
+.PHONY: ci vet build test race chaos stress fuzz-smoke cover-check metrics-lint bench bench-grid bench-json bench-smoke bench-serve bench-serve-smoke clean
 
-ci: vet build test race chaos stress fuzz-smoke cover-check bench-smoke bench-serve-smoke
+ci: vet build test race chaos stress fuzz-smoke cover-check metrics-lint bench-smoke bench-serve-smoke
 
 vet:
 	$(GO) vet ./...
@@ -56,6 +56,14 @@ cover-check:
 	awk -v t="$$total" -v f="$(COVERAGE_FLOOR)" 'BEGIN { exit (t+0 < f+0) ? 1 : 0 }' || \
 		{ echo "FAIL: coverage $$total% is below the floor $(COVERAGE_FLOOR)%"; exit 1; }
 
+# Prometheus text-format conformance: boot an in-process server with a
+# registry exercising every exporter shape (vectors, escapes, overflow
+# fold, histogram ladders), scrape its /metrics over HTTP, and fail on
+# any violation a real scraper would reject. `metricslint -addr host`
+# lints a live daemon the same way.
+metrics-lint:
+	$(GO) run ./cmd/metricslint
+
 # full benchmark suite at reduced scale (one pass per table/figure)
 bench:
 	$(GO) test -bench . -benchtime=1x -run XXX -v .
@@ -89,12 +97,15 @@ bench-serve:
 	$(GO) run ./cmd/loadgen -render BENCH_serve.json
 
 # the same harness at smoke scale (2s, 2 tenants, 4 workers), wired into
-# ci: proves loadgen, the daemon stack, and the report renderer end to
-# end without committing the throwaway numbers, and checks the committed
-# BENCH_serve.json still renders
+# ci: proves loadgen, the daemon stack, the sampled trace pipeline
+# (head sampling + error/slow latches, gateway-issued request IDs in the
+# span attrs), and the report renderer end to end without committing the
+# throwaway numbers, and checks the committed BENCH_serve.json renders
 bench-serve-smoke:
 	$(GO) run ./cmd/datasculpt -dataset youtube -iterations 10 -scale 0.3 -save-bundle /tmp/datasculpt-serve-smoke.json > /dev/null
-	$(GO) run ./cmd/loadgen -bundle /tmp/datasculpt-serve-smoke.json -smoke -out /tmp/datasculpt-serve-smoke-report.json
+	$(GO) run ./cmd/loadgen -bundle /tmp/datasculpt-serve-smoke.json -smoke \
+		-trace-out /tmp/datasculpt-serve-smoke-trace.jsonl -trace-sample 0.02 \
+		-out /tmp/datasculpt-serve-smoke-report.json
 	$(GO) run ./cmd/loadgen -render /tmp/datasculpt-serve-smoke-report.json
 	$(GO) run ./cmd/loadgen -render BENCH_serve.json
 

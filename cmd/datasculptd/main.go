@@ -18,7 +18,11 @@
 // admission queue (-queue-depth; overload sheds 429 instead of
 // queueing without bound), at most -max-resident tenant servers stay
 // mapped at once, and /metrics exposes the serve_* counters,
-// histograms and gauges in Prometheus text format.
+// histograms and gauges — dimensional by tenant, outcome code and
+// route — in Prometheus text format. /v1/stats reports per-tenant SLO
+// windows (latency quantiles, error rate, availability burn) plus
+// runtime health; -access-log, -trace-sample/-trace-slow and
+// -slo-objective tune the per-request observability pipeline.
 package main
 
 import (
@@ -75,6 +79,11 @@ type config struct {
 	traceOut   string
 	metricsOut string
 	debugAddr  string
+
+	accessLog    bool
+	traceSample  float64
+	traceSlow    time.Duration
+	sloObjective float64
 }
 
 func main() {
@@ -96,6 +105,10 @@ func main() {
 	flag.StringVar(&cfg.traceOut, "trace-out", "", "stream one JSON span per request/batch to this file")
 	flag.StringVar(&cfg.metricsOut, "metrics-out", "", "write final metrics here on exit (Prometheus text; JSON if the path ends in .json)")
 	flag.StringVar(&cfg.debugAddr, "debug-addr", "", "serve expvar (/debug/vars) and pprof (/debug/pprof/) on this address")
+	flag.BoolVar(&cfg.accessLog, "access-log", false, "log one structured line per gateway request (rate-capped)")
+	flag.Float64Var(&cfg.traceSample, "trace-sample", 1, "head-sampling probability for -trace-out traces (errors and slow requests are always kept)")
+	flag.DurationVar(&cfg.traceSlow, "trace-slow", 250*time.Millisecond, "keep any trace at least this slow regardless of sampling (0 disables the latch)")
+	flag.Float64Var(&cfg.sloObjective, "slo-objective", 0.999, "availability target /v1/stats reports burn rates against")
 	flag.Parse()
 
 	if err := run(cfg); err != nil {
@@ -127,6 +140,16 @@ func run(cfg config) (err error) {
 			err = cerr
 		}
 	}()
+	if cfg.traceOut != "" && (cfg.traceSample < 1 || cfg.traceSlow > 0) {
+		// Sampling makes JSONL tracing survivable at serving rates: head
+		// sample at -trace-sample, always keep errors, latch anything
+		// slower than -trace-slow.
+		o = obs.New(obs.NewSampledTracer(o.Tracer, obs.SamplerOptions{
+			Rate:       cfg.traceSample,
+			KeepErrors: true,
+			SlowLatch:  cfg.traceSlow,
+		}), o.Metrics, o.Logger)
+	}
 
 	reg := registry.New(o, registry.Options{
 		MaxResident:     cfg.maxResident,
@@ -163,6 +186,8 @@ func run(cfg config) (err error) {
 		Ring:          ring,
 		SelfShard:     cfg.replicaIndex,
 		Peers:         peers,
+		AccessLog:     cfg.accessLog,
+		SLOObjective:  cfg.sloObjective,
 	})
 
 	ln, err := net.Listen("tcp", cfg.addr)

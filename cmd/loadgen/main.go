@@ -27,6 +27,7 @@ import (
 	"net/http"
 	"os"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"time"
@@ -49,6 +50,9 @@ type loadConfig struct {
 	maxWait     time.Duration
 	queueDepth  int
 	seed        int64
+	traceOut    string
+	traceSample float64
+	traceSlow   time.Duration
 }
 
 // quantiles is the latency summary of one request class.
@@ -58,6 +62,25 @@ type quantiles struct {
 	P90   float64 `json:"p90_ms"`
 	P99   float64 `json:"p99_ms"`
 	Max   float64 `json:"max_ms"`
+}
+
+// serverSide is what the daemon's own /metrics said after the run —
+// server-side truth to cross-check the client-side numbers against
+// (shed counts explain client 429s, batch counts give the effective
+// coalescing ratio).
+type serverSide struct {
+	Shed             float64            `json:"shed"`
+	Dropped          float64            `json:"dropped"`
+	Errors           float64            `json:"errors"`
+	Batches          float64            `json:"batches"`
+	RequestsByTenant map[string]float64 `json:"requests_by_tenant,omitempty"`
+}
+
+// traceStats summarizes the sampled JSONL trace of an in-process run.
+type traceStats struct {
+	Spans         int `json:"spans"`
+	GatewaySpans  int `json:"gateway_spans"`
+	WithRequestID int `json:"with_request_id"`
 }
 
 // report is the BENCH_serve.json schema.
@@ -73,6 +96,8 @@ type report struct {
 	Latency     quantiles      `json:"latency"`
 	Single      quantiles      `json:"single"`
 	Batch       quantiles      `json:"batch"`
+	Server      *serverSide    `json:"server,omitempty"`
+	Trace       *traceStats    `json:"trace,omitempty"`
 }
 
 func main() {
@@ -91,6 +116,9 @@ func main() {
 	flag.DurationVar(&cfg.maxWait, "max-wait", 2*time.Millisecond, "daemon max-wait (in-process mode)")
 	flag.IntVar(&cfg.queueDepth, "queue-depth", 0, "daemon queue depth (in-process mode; 0 = default)")
 	flag.Int64Var(&cfg.seed, "seed", 1, "traffic rng seed")
+	flag.StringVar(&cfg.traceOut, "trace-out", "", "stream sampled JSONL spans here (in-process mode)")
+	flag.Float64Var(&cfg.traceSample, "trace-sample", 0.01, "head-sampling probability for -trace-out")
+	flag.DurationVar(&cfg.traceSlow, "trace-slow", 250*time.Millisecond, "always keep traces at least this slow (0 disables)")
 	flag.StringVar(&out, "out", "", "write the JSON report here (default stdout)")
 	flag.StringVar(&render, "render", "", "pretty-print an existing report file and exit")
 	flag.BoolVar(&smoke, "smoke", false, "smoke preset: 2s, 4 workers, 2 tenants")
@@ -137,8 +165,11 @@ func runLoad(cfg loadConfig) (*report, error) {
 		return nil, errors.New("-tenants, -concurrency and -batch-size must be >= 1")
 	}
 	base := cfg.addr
+	shutdown := func() {}
 	if cfg.bundlePath != "" {
-		shutdown, addr, err := startLoopback(cfg)
+		var addr string
+		var err error
+		shutdown, addr, err = startLoopback(cfg)
 		if err != nil {
 			return nil, err
 		}
@@ -211,6 +242,9 @@ func runLoad(cfg loadConfig) (*report, error) {
 	if firstErr != nil {
 		return nil, firstErr
 	}
+	// Server-side truth: what the daemon's own counters say happened.
+	// Scraped while the daemon is still up, before the loopback shutdown.
+	server := scrapeServerMetrics(client, base)
 
 	var all, single, batch []float64
 	texts, requests := 0, 0
@@ -259,14 +293,38 @@ func runLoad(cfg loadConfig) (*report, error) {
 	if len(errCounts) > 0 {
 		rep.Errors = errCounts
 	}
+	rep.Server = server
+	if cfg.bundlePath != "" && cfg.traceOut != "" {
+		// Close the loopback daemon now (idempotent; the defer re-runs as
+		// a no-op) so every sampled span is flushed before counting.
+		shutdown()
+		rep.Trace = readTraceStats(cfg.traceOut)
+	}
 	return rep, nil
 }
 
 // startLoopback boots a full in-process daemon — registry, gateway,
 // real HTTP on 127.0.0.1 — with the bundle registered under every
 // tenant (each tenant loads its own copy, as distinct customers would).
+// The daemon gets a real metrics registry (so the post-run /metrics
+// scrape sees server-side truth) and, with -trace-out, a sampled JSONL
+// tracer. shutdown is idempotent.
 func startLoopback(cfg loadConfig) (shutdown func(), base string, err error) {
-	reg := registry.New(obs.Default(), registry.Options{
+	tracer := obs.Tracer(obs.NopTracer())
+	var traceFile *os.File
+	if cfg.traceOut != "" {
+		traceFile, err = os.Create(cfg.traceOut)
+		if err != nil {
+			return nil, "", err
+		}
+		tracer = obs.NewSampledTracer(obs.NewJSONLTracer(traceFile), obs.SamplerOptions{
+			Rate:       cfg.traceSample,
+			KeepErrors: true,
+			SlowLatch:  cfg.traceSlow,
+		})
+	}
+	o := obs.New(tracer, obs.NewRegistry(), nil)
+	reg := registry.New(o, registry.Options{
 		// Every tenant resident: loadgen measures the serving hot path,
 		// not cold remaps. LRU churn is exercised by the registry tests.
 		MaxResident: cfg.tenants,
@@ -282,7 +340,7 @@ func startLoopback(cfg loadConfig) (shutdown func(), base string, err error) {
 			return nil, "", err
 		}
 	}
-	gw := registry.NewGateway(reg, obs.Default(), registry.GatewayOptions{DefaultTenant: "tenant-0"})
+	gw := registry.NewGateway(reg, o, registry.GatewayOptions{DefaultTenant: "tenant-0"})
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		reg.Close()
@@ -290,11 +348,126 @@ func startLoopback(cfg loadConfig) (shutdown func(), base string, err error) {
 	}
 	httpSrv := &http.Server{Handler: gw.Handler()}
 	go httpSrv.Serve(ln) //nolint:errcheck — closed on shutdown
+	var once sync.Once
 	shutdown = func() {
-		httpSrv.Close()
-		reg.Close()
+		once.Do(func() {
+			httpSrv.Close()
+			reg.Close() // drains coalescers; their batch spans end here
+			if traceFile != nil {
+				traceFile.Close()
+			}
+		})
 	}
 	return shutdown, "http://" + ln.Addr().String(), nil
+}
+
+// scrapeServerMetrics folds the daemon's /metrics into the report's
+// server section. Best-effort: a daemon without the endpoint (or an old
+// one) yields nil, not an error.
+func scrapeServerMetrics(client *http.Client, base string) *serverSide {
+	resp, err := client.Get(base + "/metrics")
+	if err != nil {
+		return nil
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		io.Copy(io.Discard, resp.Body) //nolint:errcheck — drain for keep-alive
+		return nil
+	}
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil
+	}
+	ss := &serverSide{RequestsByTenant: make(map[string]float64)}
+	for _, line := range strings.Split(string(data), "\n") {
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		name, labels, value, ok := parseMetricLine(line)
+		if !ok {
+			continue
+		}
+		switch name {
+		case "serve_shed_total":
+			ss.Shed += value
+		case "serve_dropped_total":
+			ss.Dropped += value
+		case "serve_errors_total":
+			ss.Errors += value
+		case "serve_batches_total":
+			ss.Batches += value
+		case "serve_requests_total":
+			if t := labels["tenant"]; t != "" {
+				ss.RequestsByTenant[t] += value
+			}
+		}
+	}
+	return ss
+}
+
+// parseMetricLine splits one Prometheus sample into name, labels, value.
+// Good enough for the serve_* families loadgen folds in (tenant IDs are
+// validated upstream, so label values here never contain escapes).
+func parseMetricLine(line string) (name string, labels map[string]string, value float64, ok bool) {
+	rest := line
+	if i := strings.IndexByte(line, '{'); i >= 0 {
+		j := strings.LastIndexByte(line, '}')
+		if j < i {
+			return "", nil, 0, false
+		}
+		name, rest = line[:i], line[j+1:]
+		labels = make(map[string]string)
+		for _, pair := range strings.Split(line[i+1:j], ",") {
+			k, v, found := strings.Cut(pair, "=")
+			if found {
+				labels[k] = strings.Trim(v, `"`)
+			}
+		}
+	} else if i := strings.IndexByte(line, ' '); i >= 0 {
+		name, rest = line[:i], line[i:]
+	} else {
+		return "", nil, 0, false
+	}
+	fields := strings.Fields(rest)
+	if len(fields) == 0 {
+		return "", nil, 0, false
+	}
+	v, err := strconv.ParseFloat(fields[0], 64)
+	if err != nil {
+		return "", nil, 0, false
+	}
+	return name, labels, v, true
+}
+
+// readTraceStats counts the sampled spans the run kept. Called after
+// shutdown, so every span (including batch spans ending on server
+// goroutines) has been flushed.
+func readTraceStats(path string) *traceStats {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil
+	}
+	ts := &traceStats{}
+	for _, line := range bytes.Split(data, []byte("\n")) {
+		if len(line) == 0 {
+			continue
+		}
+		var span struct {
+			Name  string         `json:"name"`
+			Attrs map[string]any `json:"attrs"`
+		}
+		if json.Unmarshal(line, &span) != nil {
+			continue
+		}
+		ts.Spans++
+		if span.Name == "gateway.request" {
+			ts.GatewaySpans++
+			if s, ok := span.Attrs["request_id"].(string); ok && s != "" {
+				ts.WithRequestID++
+			}
+		}
+	}
+	return ts
 }
 
 // requestBody builds one deterministic synthetic request: YouTube-
@@ -383,6 +556,23 @@ func renderReport(w io.Writer, path string) error {
 	row("batch", rep.Batch)
 	for code, n := range rep.Errors {
 		fmt.Fprintf(w, "  status %s: %d\n", code, n)
+	}
+	// Server/trace sections are absent in pre-observability reports.
+	if s := rep.Server; s != nil {
+		fmt.Fprintf(w, "  server: batches=%.0f shed=%.0f dropped=%.0f errors=%.0f\n",
+			s.Batches, s.Shed, s.Dropped, s.Errors)
+		tenants := make([]string, 0, len(s.RequestsByTenant))
+		for t := range s.RequestsByTenant {
+			tenants = append(tenants, t)
+		}
+		sort.Strings(tenants)
+		for _, t := range tenants {
+			fmt.Fprintf(w, "    %-12s %.0f requests\n", t, s.RequestsByTenant[t])
+		}
+	}
+	if t := rep.Trace; t != nil {
+		fmt.Fprintf(w, "  trace: %d spans kept (%d gateway, %d with request id)\n",
+			t.Spans, t.GatewaySpans, t.WithRequestID)
 	}
 	return nil
 }

@@ -1,0 +1,56 @@
+package main
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// TestSelfTestPasses is the CI gate: the repo's own exporter must
+// produce exposition its own linter accepts, end to end over HTTP.
+func TestSelfTestPasses(t *testing.T) {
+	problems, err := run("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(problems) != 0 {
+		t.Errorf("self-test found problems:\n%s", strings.Join(problems, "\n"))
+	}
+}
+
+func TestAddrModeFlagsBadExposition(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		// Duplicate series + a histogram without +Inf.
+		w.Write([]byte("x_total 1\nx_total 1\n# TYPE h histogram\nh_bucket{le=\"1\"} 1\nh_sum 1\nh_count 1\n"))
+	}))
+	defer ts.Close()
+	problems, err := run(ts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(problems) != 2 {
+		t.Errorf("got %d problems %v, want duplicate-series and missing-+Inf", len(problems), problems)
+	}
+}
+
+func TestAddrModeSurfacesHTTPFailure(t *testing.T) {
+	ts := httptest.NewServer(http.NotFoundHandler())
+	defer ts.Close()
+	if _, err := run(ts.URL + "/metrics"); err == nil {
+		t.Error("non-200 scrape did not error")
+	}
+}
+
+func TestMetricsURL(t *testing.T) {
+	for in, want := range map[string]string{
+		"localhost:8080":              "http://localhost:8080/metrics",
+		"http://localhost:8080":       "http://localhost:8080/metrics",
+		"http://host:1234/metrics":    "http://host:1234/metrics",
+		"http://host:1234/other/path": "http://host:1234/other/path",
+	} {
+		if got := metricsURL(in); got != want {
+			t.Errorf("metricsURL(%q) = %q, want %q", in, got, want)
+		}
+	}
+}

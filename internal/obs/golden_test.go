@@ -1,0 +1,67 @@
+package obs
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// -update regenerates testdata/exposition.golden:
+// go test ./internal/obs/ -run Golden -update
+var update = flag.Bool("update", false, "rewrite golden files with current exposition output")
+
+// TestPrometheusExpositionGolden pins the exact text-format rendering —
+// family ordering, HELP/TYPE lines, label ordering and escaping, the
+// histogram ladder, float formatting — to a golden file, so format
+// drift shows up as a reviewable diff instead of a broken dashboard.
+func TestPrometheusExpositionGolden(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("build_info_total", "scalar counter").AddInt(3)
+	r.Gauge("queue_depth", "scalar gauge").Set(2.5)
+	r.Histogram("fit_seconds", "scalar histogram", []float64{0.1, 1, 10}).Observe(0.5)
+
+	req := r.CounterVec("serve_requests_total", "requests by tenant and outcome", "tenant", "code")
+	req.With2("acme", "ok").AddInt(9)
+	req.With2("acme", "shed").Inc()
+	req.With2("beta", "ok").AddInt(4)
+	req.With2("we\"ird\\te\nnant", "ok").Inc()
+	req.SetMaxSeries(4)
+	req.With2("flood-1", "ok").Inc()
+	req.With2("flood-2", "ok").Inc()
+
+	r.GaugeVec("serve_inflight", "in-flight requests", "tenant").With1("acme").Set(2)
+
+	lat := r.HistogramVec("serve_request_seconds", "request latency", []float64{0.001, 0.01, 0.1}, "tenant")
+	for _, v := range []float64{0.0005, 0.005, 0.05, 0.5} {
+		lat.With1("acme").Observe(v)
+	}
+	lat.With1("beta").Observe(0.002)
+
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+
+	golden := filepath.Join("testdata", "exposition.golden")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run with -update to generate)", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("exposition drifted from %s (re-run with -update if intended):\ngot:\n%s\nwant:\n%s",
+			golden, buf.Bytes(), want)
+	}
+	if problems := LintPrometheus(&buf); len(problems) != 0 {
+		t.Errorf("golden exposition fails lint: %v", problems)
+	}
+}

@@ -8,6 +8,7 @@ import (
 	"math"
 	"sort"
 	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 )
@@ -176,6 +177,9 @@ const (
 	kindCounter metricKind = iota
 	kindGauge
 	kindHistogram
+	kindCounterVec
+	kindGaugeVec
+	kindHistogramVec
 )
 
 type metricEntry struct {
@@ -184,6 +188,9 @@ type metricEntry struct {
 	c    *Counter
 	g    *Gauge
 	h    *Histogram
+	cv   *CounterVec
+	gv   *GaugeVec
+	hv   *HistogramVec
 }
 
 // Registry is a concurrency-safe collection of named metrics.
@@ -256,6 +263,77 @@ func (r *Registry) Histogram(name, help string, bounds []float64) *Histogram {
 	return e.h
 }
 
+// vecEntry is the shared registration path for the three vector kinds.
+// Like the scalar path it is idempotent by name and panics on a kind or
+// label-schema mismatch (a programming error).
+func (r *Registry) vecEntry(name, help string, kind metricKind, bounds []float64, labels []string) *metricEntry {
+	if len(labels) == 0 {
+		panic(fmt.Sprintf("obs: vector metric %q registered without labels", name))
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if e, ok := r.metrics[name]; ok {
+		if e.kind != kind {
+			panic(fmt.Sprintf("obs: metric %q re-registered with a different kind", name))
+		}
+		var core *vecCore
+		switch kind {
+		case kindCounterVec:
+			core = e.cv.core
+		case kindGaugeVec:
+			core = e.gv.core
+		case kindHistogramVec:
+			core = e.hv.core
+		}
+		if len(core.labels) != len(labels) {
+			panic(fmt.Sprintf("obs: metric %q re-registered with different labels", name))
+		}
+		for i := range labels {
+			if core.labels[i] != labels[i] {
+				panic(fmt.Sprintf("obs: metric %q re-registered with different labels", name))
+			}
+		}
+		return e
+	}
+	e := &metricEntry{kind: kind, help: help}
+	switch kind {
+	case kindCounterVec:
+		e.cv = &CounterVec{core: newVecCore(name, kindCounter, nil, labels)}
+	case kindGaugeVec:
+		e.gv = &GaugeVec{core: newVecCore(name, kindGauge, nil, labels)}
+	case kindHistogramVec:
+		e.hv = &HistogramVec{core: newVecCore(name, kindHistogram, bounds, labels)}
+	}
+	r.metrics[name] = e
+	return e
+}
+
+// CounterVec returns (registering if needed) the named counter family
+// partitioned by the given label names.
+func (r *Registry) CounterVec(name, help string, labels ...string) *CounterVec {
+	if r == nil {
+		return nil
+	}
+	return r.vecEntry(name, help, kindCounterVec, nil, labels).cv
+}
+
+// GaugeVec returns (registering if needed) the named gauge family.
+func (r *Registry) GaugeVec(name, help string, labels ...string) *GaugeVec {
+	if r == nil {
+		return nil
+	}
+	return r.vecEntry(name, help, kindGaugeVec, nil, labels).gv
+}
+
+// HistogramVec returns (registering if needed) the named histogram
+// family; every series shares bounds (first registration wins).
+func (r *Registry) HistogramVec(name, help string, bounds []float64, labels ...string) *HistogramVec {
+	if r == nil {
+		return nil
+	}
+	return r.vecEntry(name, help, kindHistogramVec, bounds, labels).hv
+}
+
 // names returns the registered metric names, sorted, for deterministic
 // export.
 func (r *Registry) sorted() []string {
@@ -293,16 +371,37 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 			if _, err = fmt.Fprintf(w, "# TYPE %s histogram\n", name); err != nil {
 				return err
 			}
-			s := e.h.Snapshot()
-			for i, le := range s.Bounds {
-				if _, err = fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", name, fmtFloat(le), s.Cumulative[i]); err != nil {
+			err = writeHistogramSeries(w, name, "", e.h.Snapshot())
+		case kindCounterVec:
+			core := e.cv.core
+			if _, err = fmt.Fprintf(w, "# TYPE %s counter\n", name); err != nil {
+				return err
+			}
+			for _, s := range core.sortedSeries() {
+				if _, err = fmt.Fprintf(w, "%s{%s} %s\n", name, core.labelString(s, ""), fmtFloat(s.c.Value())); err != nil {
 					return err
 				}
 			}
-			if _, err = fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", name, s.Count); err != nil {
+		case kindGaugeVec:
+			core := e.gv.core
+			if _, err = fmt.Fprintf(w, "# TYPE %s gauge\n", name); err != nil {
 				return err
 			}
-			_, err = fmt.Fprintf(w, "%s_sum %s\n%s_count %d\n", name, fmtFloat(s.Sum), name, s.Count)
+			for _, s := range core.sortedSeries() {
+				if _, err = fmt.Fprintf(w, "%s{%s} %s\n", name, core.labelString(s, ""), fmtFloat(s.g.Value())); err != nil {
+					return err
+				}
+			}
+		case kindHistogramVec:
+			core := e.hv.core
+			if _, err = fmt.Fprintf(w, "# TYPE %s histogram\n", name); err != nil {
+				return err
+			}
+			for _, s := range core.sortedSeries() {
+				if err = writeHistogramSeries(w, name, core.labelString(s, ""), s.h.Snapshot()); err != nil {
+					return err
+				}
+			}
 		}
 		if err != nil {
 			return err
@@ -312,6 +411,29 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 }
 
 func fmtFloat(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+
+// writeHistogramSeries renders one histogram series — the `_bucket`
+// ladder, `_sum` and `_count` — with labels (possibly empty) prefixed
+// to the `le` pair.
+func writeHistogramSeries(w io.Writer, name, labels string, s HistogramSnapshot) error {
+	sep := ""
+	if labels != "" {
+		sep = ","
+	}
+	for i, le := range s.Bounds {
+		if _, err := fmt.Fprintf(w, "%s_bucket{%s%sle=%q} %d\n", name, labels, sep, fmtFloat(le), s.Cumulative[i]); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(w, "%s_bucket{%s%sle=\"+Inf\"} %d\n", name, labels, sep, s.Count); err != nil {
+		return err
+	}
+	if labels != "" {
+		labels = "{" + labels + "}"
+	}
+	_, err := fmt.Fprintf(w, "%s_sum%s %s\n%s_count%s %d\n", name, labels, fmtFloat(s.Sum), name, labels, s.Count)
+	return err
+}
 
 // Snapshot returns every metric's current value keyed by name: float64
 // for counters and gauges, HistogramSnapshot for histograms.
@@ -330,6 +452,27 @@ func (r *Registry) Snapshot() map[string]any {
 			out[name] = e.g.Value()
 		case kindHistogram:
 			out[name] = e.h.Snapshot()
+		case kindCounterVec:
+			core := e.cv.core
+			m := make(map[string]any)
+			for _, s := range core.sortedSeries() {
+				m[core.labelString(s, "")] = s.c.Value()
+			}
+			out[name] = m
+		case kindGaugeVec:
+			core := e.gv.core
+			m := make(map[string]any)
+			for _, s := range core.sortedSeries() {
+				m[core.labelString(s, "")] = s.g.Value()
+			}
+			out[name] = m
+		case kindHistogramVec:
+			core := e.hv.core
+			m := make(map[string]any)
+			for _, s := range core.sortedSeries() {
+				m[core.labelString(s, "")] = s.h.Snapshot()
+			}
+			out[name] = m
 		}
 	}
 	return out
@@ -343,7 +486,9 @@ func (r *Registry) WriteJSON(w io.Writer) error {
 }
 
 // CounterValue is a convenience read of a registered counter (0 when
-// absent) — handy for tests and end-of-run summaries.
+// absent) — handy for tests and end-of-run summaries. For a counter
+// vector it returns the sum over every series, so callers that predate
+// a metric's dimensional split keep reading the same total.
 func (r *Registry) CounterValue(name string) float64 {
 	if r == nil {
 		return 0
@@ -351,10 +496,54 @@ func (r *Registry) CounterValue(name string) float64 {
 	r.mu.Lock()
 	e, ok := r.metrics[name]
 	r.mu.Unlock()
-	if !ok || e.kind != kindCounter {
+	if !ok {
 		return 0
 	}
-	return e.c.Value()
+	switch e.kind {
+	case kindCounter:
+		return e.c.Value()
+	case kindCounterVec:
+		return e.cv.Sum()
+	}
+	return 0
+}
+
+// SeriesValue reads one series of a registered counter or gauge vector
+// (0 when the metric or series is absent). Reading a series never
+// creates it.
+func (r *Registry) SeriesValue(name string, values ...string) float64 {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	e, ok := r.metrics[name]
+	r.mu.Unlock()
+	if !ok {
+		return 0
+	}
+	var core *vecCore
+	switch e.kind {
+	case kindCounterVec:
+		core = e.cv.core
+	case kindGaugeVec:
+		core = e.gv.core
+	default:
+		return 0
+	}
+	if len(values) != len(core.labels) {
+		return 0
+	}
+	key := strings.Join(values, vecKeySep)
+	core.mu.RLock()
+	s, ok := core.series[key]
+	core.mu.RUnlock()
+	if !ok {
+		return 0
+	}
+	if s.c != nil {
+		return s.c.Value()
+	}
+	return s.g.Value()
 }
 
 // Publish exposes the registry's Snapshot under the given expvar name

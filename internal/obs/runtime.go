@@ -1,0 +1,49 @@
+package obs
+
+import "runtime"
+
+// RuntimeSnapshot is a point-in-time read of the Go runtime figures the
+// serving endpoints expose.
+type RuntimeSnapshot struct {
+	Goroutines     int     `json:"goroutines"`
+	HeapAllocBytes uint64  `json:"heap_alloc_bytes"`
+	HeapSysBytes   uint64  `json:"heap_sys_bytes"`
+	NumGC          uint32  `json:"num_gc"`
+	GCPauseTotalMS float64 `json:"gc_pause_total_ms"`
+	LastGCPauseMS  float64 `json:"last_gc_pause_ms"`
+}
+
+// ReadRuntime captures the current runtime figures. It calls
+// runtime.ReadMemStats (a brief stop-the-world), so callers should
+// invoke it per scrape, not per request.
+func ReadRuntime() RuntimeSnapshot {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	s := RuntimeSnapshot{
+		Goroutines:     runtime.NumGoroutine(),
+		HeapAllocBytes: ms.HeapAlloc,
+		HeapSysBytes:   ms.HeapSys,
+		NumGC:          ms.NumGC,
+		GCPauseTotalMS: float64(ms.PauseTotalNs) / 1e6,
+	}
+	if ms.NumGC > 0 {
+		s.LastGCPauseMS = float64(ms.PauseNs[(ms.NumGC+255)%256]) / 1e6
+	}
+	return s
+}
+
+// SetRuntimeGauges refreshes the registry's go_* gauges from a fresh
+// RuntimeSnapshot. The serving /metrics handler calls this on each
+// scrape so runtime health rides along with the application metrics.
+func SetRuntimeGauges(r *Registry) {
+	if r == nil {
+		return
+	}
+	s := ReadRuntime()
+	r.Gauge("go_goroutines", "Live goroutines.").Set(float64(s.Goroutines))
+	r.Gauge("go_memstats_heap_alloc_bytes", "Bytes of allocated heap objects.").Set(float64(s.HeapAllocBytes))
+	r.Gauge("go_memstats_heap_sys_bytes", "Bytes of heap obtained from the OS.").Set(float64(s.HeapSysBytes))
+	r.Gauge("go_gc_cycles_total", "Completed GC cycles.").Set(float64(s.NumGC))
+	r.Gauge("go_gc_pause_total_ms", "Cumulative GC stop-the-world pause.").Set(s.GCPauseTotalMS)
+	r.Gauge("go_gc_last_pause_ms", "Most recent GC stop-the-world pause.").Set(s.LastGCPauseMS)
+}

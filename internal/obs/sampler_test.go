@@ -1,0 +1,196 @@
+package obs
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+)
+
+// sampled wraps a fresh MemoryTracer in a SampledTracer with a
+// deterministic coin.
+func sampled(t *testing.T, opts SamplerOptions) (*SampledTracer, *MemoryTracer) {
+	t.Helper()
+	mem := NewMemoryTracer()
+	tr, ok := NewSampledTracer(mem, opts).(*SampledTracer)
+	if !ok {
+		t.Fatal("NewSampledTracer over a memory tracer did not return a *SampledTracer")
+	}
+	return tr, mem
+}
+
+func TestSamplerHeadDecision(t *testing.T) {
+	coin := 0.99 // >= Rate: head says drop
+	tr, mem := sampled(t, SamplerOptions{Rate: 0.5, Rand: func() float64 { return coin }})
+
+	root := StartTrace(tr, "headdrop", "req")
+	root.Child("work").End()
+	root.End()
+	if n := len(mem.Spans()); n != 0 {
+		t.Fatalf("head-dropped trace recorded %d spans, want 0", n)
+	}
+
+	coin = 0.01 // < Rate: head says keep; spans stream through
+	root = StartTrace(tr, "headkeep", "req")
+	child := root.Child("work")
+	child.End()
+	if n := len(mem.Spans()); n != 1 {
+		t.Fatalf("head-kept child did not stream: %d spans before root end", n)
+	}
+	root.End()
+	spans := mem.Spans()
+	if len(spans) != 2 {
+		t.Fatalf("head-kept trace recorded %d spans, want 2", len(spans))
+	}
+	for _, s := range spans {
+		if s.Trace != "headkeep" {
+			t.Errorf("span %q carries trace %q, want the adopted id", s.Name, s.Trace)
+		}
+	}
+	if got := tr.Stats(); got.KeptTraces != 1 || got.DroppedTraces != 1 {
+		t.Errorf("stats = %+v, want 1 kept / 1 dropped", got)
+	}
+}
+
+func TestSamplerErrorLatch(t *testing.T) {
+	tr, mem := sampled(t, SamplerOptions{Rate: 0, KeepErrors: true, Rand: func() float64 { return 1 }})
+
+	// An error on a child rescues the whole buffered trace.
+	root := StartTrace(tr, "errtrace", "req")
+	bad := root.Child("work")
+	bad.SetErr(errors.New("boom"))
+	bad.End()
+	if n := len(mem.Spans()); n != 0 {
+		t.Fatalf("undecided trace leaked %d spans before the verdict", n)
+	}
+	root.End()
+	if n := len(mem.Spans()); n != 2 {
+		t.Fatalf("error trace recorded %d spans, want the full tree of 2", n)
+	}
+
+	// Without an error the same shape is dropped whole.
+	mem.Reset()
+	root = StartTrace(tr, "okay", "req")
+	root.Child("work").End()
+	root.End()
+	if n := len(mem.Spans()); n != 0 {
+		t.Fatalf("healthy trace under Rate=0 recorded %d spans, want 0", n)
+	}
+}
+
+func TestSamplerSlowLatch(t *testing.T) {
+	tr, mem := sampled(t, SamplerOptions{Rate: 0, SlowLatch: time.Millisecond, Rand: func() float64 { return 1 }})
+	root := StartTrace(tr, "slow", "req")
+	time.Sleep(5 * time.Millisecond)
+	root.End()
+	if n := len(mem.Spans()); n != 1 {
+		t.Fatalf("slow trace recorded %d spans, want 1", n)
+	}
+	if got := tr.Stats(); got.KeptTraces != 1 {
+		t.Errorf("stats = %+v, want 1 kept", got)
+	}
+}
+
+func TestSamplerTruncatesUndecidedBuffer(t *testing.T) {
+	tr, mem := sampled(t, SamplerOptions{
+		Rate: 0, KeepErrors: true, MaxSpansPerTrace: 3,
+		Rand: func() float64 { return 1 },
+	})
+	root := StartTrace(tr, "big", "req")
+	for i := 0; i < 10; i++ {
+		root.Child(fmt.Sprintf("c%d", i)).End()
+	}
+	bad := root.Child("late-error")
+	bad.SetErr(errors.New("boom"))
+	bad.End() // also truncated: the buffer filled long ago
+	root.End()
+
+	// The buffer held only the first 3 children; the error span fell off,
+	// so the keep verdict never fired and nothing was recorded.
+	if n := len(mem.Spans()); n != 0 {
+		t.Fatalf("truncated trace recorded %d spans, want 0", n)
+	}
+	if got := tr.Stats().TruncatedSpans; got != 8 {
+		t.Errorf("TruncatedSpans = %d, want 8", got)
+	}
+}
+
+func TestSamplerLateChildrenFollowVerdict(t *testing.T) {
+	coin := 0.01
+	tr, mem := sampled(t, SamplerOptions{Rate: 0.5, Rand: func() float64 { return coin }})
+	root := StartTrace(tr, "late", "req")
+	straggler := root.Child("async")
+	root.End()
+	straggler.End() // after the verdict: still recorded, trace was kept
+	if n := len(mem.Spans()); n != 2 {
+		t.Fatalf("kept trace with straggler recorded %d spans, want 2", n)
+	}
+
+	mem.Reset()
+	coin = 0.99
+	root = StartTrace(tr, "late2", "req")
+	straggler = root.Child("async")
+	root.End()
+	straggler.End()
+	if n := len(mem.Spans()); n != 0 {
+		t.Fatalf("dropped trace with straggler recorded %d spans, want 0", n)
+	}
+}
+
+func TestSampledTracerPassesThroughNop(t *testing.T) {
+	base := NopTracer()
+	if tr := NewSampledTracer(base, SamplerOptions{Rate: 0.5}); tr != base {
+		t.Error("sampling a non-recording tracer should return it unchanged")
+	}
+}
+
+func TestParseTraceparent(t *testing.T) {
+	valid := "00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01"
+	trace, sampledFlag, ok := ParseTraceparent(valid)
+	if !ok || trace != "4bf92f3577b34da6a3ce929d0e0e4736" || !sampledFlag {
+		t.Fatalf("ParseTraceparent(valid) = (%q, %v, %v)", trace, sampledFlag, ok)
+	}
+	if _, s, ok := ParseTraceparent(strings.Replace(valid, "-01", "-00", 1)); !ok || s {
+		t.Error("flags 00 should parse with sampled=false")
+	}
+	// 'f' has its low bit clear as a byte but decodes to nibble 0xf.
+	if _, s, ok := ParseTraceparent(strings.Replace(valid, "-01", "-ff", 1)); !ok || !s {
+		t.Error("flags ff should parse with sampled=true")
+	}
+
+	bad := []string{
+		"",
+		"nonsense",
+		valid[:54],             // truncated
+		strings.ToUpper(valid), // uppercase hex
+		"ff" + valid[2:],       // forbidden version
+		"00-" + strings.Repeat("0", 32) + valid[35:], // zero trace id
+		valid[:36] + strings.Repeat("0", 16) + "-01", // zero parent id
+		valid + "-extra", // version 00 takes exactly 4 fields
+		strings.Replace(valid, "4bf9", "4bg9", 1), // non-hex
+	}
+	for _, h := range bad {
+		if _, _, ok := ParseTraceparent(h); ok {
+			t.Errorf("ParseTraceparent(%q) accepted malformed input", h)
+		}
+	}
+
+	// Round trip through the formatter the gateway uses.
+	rt := FormatTraceparent(NewTraceID(), NewRequestID())
+	if _, _, ok := ParseTraceparent(rt); !ok {
+		t.Errorf("formatted traceparent %q failed to parse", rt)
+	}
+}
+
+func TestNewIDsWellFormed(t *testing.T) {
+	if id := NewTraceID(); len(id) != 32 || !isHexLower(id) {
+		t.Errorf("NewTraceID() = %q, want 32 lowercase hex digits", id)
+	}
+	if id := NewRequestID(); len(id) != 16 || !isHexLower(id) {
+		t.Errorf("NewRequestID() = %q, want 16 lowercase hex digits", id)
+	}
+	if NewTraceID() == NewTraceID() {
+		t.Error("consecutive trace IDs collided")
+	}
+}

@@ -2,11 +2,12 @@ package obs
 
 import (
 	"errors"
+	"expvar"
 	"fmt"
 	"io"
 	"net"
 	"net/http"
-	_ "net/http/pprof" // -debug-addr serves profiles from DefaultServeMux
+	"net/http/pprof"
 	"os"
 	"strings"
 )
@@ -104,7 +105,7 @@ func Setup(cfg SetupConfig) (*Obs, func() error, error) {
 			return fail(fmt.Errorf("obs: debug listener: %w", err))
 		}
 		logger.Info("debug server listening", "addr", ln.Addr().String())
-		go http.Serve(ln, nil) //nolint:errcheck — closed by cleanup
+		go http.Serve(ln, DebugMux()) //nolint:errcheck — closed by cleanup
 		cleanups = append(cleanups, ln.Close)
 	}
 
@@ -116,4 +117,20 @@ func Setup(cfg SetupConfig) (*Obs, func() error, error) {
 		return errors.Join(errs...)
 	}
 	return New(tracer, reg, logger), cleanup, nil
+}
+
+// DebugMux builds the private mux behind -debug-addr: expvar on
+// /debug/vars and the pprof suite on /debug/pprof/. A private mux
+// (rather than http.DefaultServeMux) guarantees a third-party init()
+// registering a handler on the default mux can never leak onto the
+// debug port.
+func DebugMux() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
 }

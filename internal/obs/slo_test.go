@@ -1,0 +1,190 @@
+package obs
+
+import (
+	"fmt"
+	"math"
+	"testing"
+	"time"
+)
+
+// sloClock is a settable test clock for SLOOptions.Now.
+type sloClock struct{ t time.Time }
+
+func (c *sloClock) now() time.Time          { return c.t }
+func (c *sloClock) advance(d time.Duration) { c.t = c.t.Add(d) }
+
+func newSLOClock() *sloClock {
+	return &sloClock{t: time.Unix(1_700_000_000, 0)}
+}
+
+func TestSLOTrackerWindowMath(t *testing.T) {
+	clk := newSLOClock()
+	tr := NewSLOTracker(SLOOptions{
+		Slice:     10 * time.Second,
+		Retention: time.Minute,
+		Bounds:    []float64{0.1, 1},
+		Objective: 0.99,
+		Now:       clk.now,
+	})
+
+	// Slice 1: 8 fast successes + 2 errors.
+	for i := 0; i < 8; i++ {
+		tr.Observe("acme", 0.05, false)
+	}
+	tr.Observe("acme", 0.05, true)
+	tr.Observe("acme", 0.05, true)
+	// Slice 2: 10 slower successes.
+	clk.advance(10 * time.Second)
+	for i := 0; i < 10; i++ {
+		tr.Observe("acme", 0.5, false)
+	}
+
+	// A 10s window sees only the current slice: no errors.
+	got := tr.Stats("acme", 10*time.Second)
+	if len(got) != 1 {
+		t.Fatalf("Stats returned %d windows, want 1", len(got))
+	}
+	w := got[0]
+	if w.Requests != 10 || w.Errors != 0 || w.ErrorRate != 0 || w.Availability != 1 || w.BurnRate != 0 {
+		t.Errorf("current-slice window = %+v, want 10 clean requests", w)
+	}
+
+	// A 20s window spans both slices: 20 requests, 2 errors.
+	w = tr.Stats("acme", 20*time.Second)[0]
+	if w.Requests != 20 || w.Errors != 2 {
+		t.Fatalf("two-slice window = %+v, want 20 requests / 2 errors", w)
+	}
+	if got, want := w.ErrorRate, 0.1; math.Abs(got-want) > 1e-12 {
+		t.Errorf("ErrorRate = %v, want %v", got, want)
+	}
+	if got, want := w.Availability, 0.9; math.Abs(got-want) > 1e-12 {
+		t.Errorf("Availability = %v, want %v", got, want)
+	}
+	// Burn rate against a 99% objective: 0.1 / 0.01 = 10x budget.
+	if got, want := w.BurnRate, 10.0; math.Abs(got-want) > 1e-9 {
+		t.Errorf("BurnRate = %v, want %v", got, want)
+	}
+	// Mean: (10*0.05 + 10*0.5)/20 s = 275 ms.
+	if got, want := w.MeanMS, 275.0; math.Abs(got-want) > 1e-9 {
+		t.Errorf("MeanMS = %v, want %v", got, want)
+	}
+	// Quantiles interpolate inside the buckets: half the traffic is in
+	// (0, 0.1], half in (0.1, 1], so p50 lands on the first boundary and
+	// p90 inside the second bucket at 0.1 + 0.9*(8/10) = 0.82 s.
+	if got, want := w.P50MS, 100.0; math.Abs(got-want) > 1e-9 {
+		t.Errorf("P50MS = %v, want %v", got, want)
+	}
+	if got, want := w.P90MS, 820.0; math.Abs(got-want) > 1e-9 {
+		t.Errorf("P90MS = %v, want %v", got, want)
+	}
+
+	// Odd windows quantize up to whole slices.
+	if w := tr.Stats("acme", 15*time.Second)[0]; w.WindowSeconds != 20 {
+		t.Errorf("15s window quantized to %vs, want 20s", w.WindowSeconds)
+	}
+	// Windows beyond retention clamp to it.
+	if w := tr.Stats("acme", time.Hour)[0]; w.WindowSeconds != 60 {
+		t.Errorf("1h window clamped to %vs, want 60s", w.WindowSeconds)
+	}
+}
+
+func TestSLOTrackerSlicesExpire(t *testing.T) {
+	clk := newSLOClock()
+	tr := NewSLOTracker(SLOOptions{Slice: 10 * time.Second, Retention: 30 * time.Second, Now: clk.now})
+	tr.Observe("acme", 0.01, true)
+
+	if w := tr.Stats("acme", 30*time.Second)[0]; w.Requests != 1 {
+		t.Fatalf("fresh observation invisible: %+v", w)
+	}
+	// Advance past retention: the ring entry's epoch no longer matches
+	// any queried epoch, so the old traffic vanishes without a sweeper.
+	clk.advance(40 * time.Second)
+	if w := tr.Stats("acme", 30*time.Second)[0]; w.Requests != 0 {
+		t.Errorf("expired observation still visible: %+v", w)
+	}
+	// And the stale ring slot is reset on reuse, not accumulated into.
+	tr.Observe("acme", 0.01, false)
+	if w := tr.Stats("acme", 10*time.Second)[0]; w.Requests != 1 || w.Errors != 0 {
+		t.Errorf("reused slot kept stale counts: %+v", w)
+	}
+}
+
+func TestSLOTrackerTenantOverflow(t *testing.T) {
+	clk := newSLOClock()
+	tr := NewSLOTracker(SLOOptions{MaxTenants: 2, Now: clk.now})
+	tr.Observe("a", 0.01, false)
+	tr.Observe("b", 0.01, false)
+	tr.Observe("c", 0.01, false) // beyond the cap: folds
+	tr.Observe("d", 0.01, true)  // same
+
+	all := tr.StatsAll(time.Minute)
+	if len(all) != 3 {
+		t.Fatalf("tenant map has %d entries, want 3 (a, b, %s)", len(all), OverflowLabelValue)
+	}
+	ovf, ok := all[OverflowLabelValue]
+	if !ok {
+		t.Fatalf("overflow tenant missing: %v", all)
+	}
+	if ovf[0].Requests != 2 || ovf[0].Errors != 1 {
+		t.Errorf("overflow window = %+v, want 2 requests / 1 error", ovf[0])
+	}
+}
+
+func TestSLOTrackerNilAndUnknownTenant(t *testing.T) {
+	var tr *SLOTracker
+	tr.Observe("x", 1, true) // must not panic
+	if got := tr.Stats("x", time.Minute); got != nil {
+		t.Errorf("nil tracker Stats = %v, want nil", got)
+	}
+	if got := tr.Objective(); got != 0 {
+		t.Errorf("nil tracker Objective = %v, want 0", got)
+	}
+
+	real := NewSLOTracker(SLOOptions{})
+	w := real.Stats("never-seen", time.Minute)[0]
+	if w.Requests != 0 || w.Availability != 1 {
+		t.Errorf("unknown tenant window = %+v, want zero requests, availability 1", w)
+	}
+}
+
+func TestBucketQuantileEdgeCases(t *testing.T) {
+	bounds := []float64{1, 2, 4}
+	counts := []uint64{0, 0, 0, 5} // everything in the overflow bucket
+	if got := bucketQuantile(bounds, counts, 5, 0.5); got != 4 {
+		t.Errorf("overflow-only quantile = %v, want clamp to 4", got)
+	}
+	if got := bucketQuantile(nil, []uint64{5}, 5, 0.5); got != 0 {
+		t.Errorf("no-bounds quantile = %v, want 0", got)
+	}
+	// Uniform counts: p50 of 10 in (0,1] with 10 observations = 0.5.
+	if got := bucketQuantile([]float64{1}, []uint64{10, 0}, 10, 0.5); got != 0.5 {
+		t.Errorf("interpolated quantile = %v, want 0.5", got)
+	}
+}
+
+func TestSLOTrackerConcurrent(t *testing.T) {
+	clk := newSLOClock()
+	tr := NewSLOTracker(SLOOptions{MaxTenants: 4, Now: clk.now})
+	done := make(chan struct{})
+	for g := 0; g < 4; g++ {
+		go func(g int) {
+			defer func() { done <- struct{}{} }()
+			for i := 0; i < 200; i++ {
+				tr.Observe(fmt.Sprintf("tenant-%d", g%6), 0.01, i%10 == 0)
+				if i%50 == 0 {
+					tr.StatsAll(time.Minute)
+				}
+			}
+		}(g)
+	}
+	for g := 0; g < 4; g++ {
+		<-done
+	}
+	var total uint64
+	for _, ws := range tr.StatsAll(time.Minute) {
+		total += ws[0].Requests
+	}
+	if total != 800 {
+		t.Errorf("concurrent observations total %d, want 800", total)
+	}
+}

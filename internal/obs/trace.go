@@ -33,9 +33,27 @@ type Span interface {
 
 // Tracer starts root spans. Sinks shipped with the package: NopTracer
 // (free), NewMemoryTracer (tests), NewJSONLTracer (one JSON object per
-// finished span, one per line).
+// finished span, one per line), NewSampledTracer (head/tail sampling
+// over either recording sink).
 type Tracer interface {
 	StartSpan(name string) Span
+}
+
+// TraceStarter is implemented by tracers that can adopt a caller-
+// supplied trace ID — how the serving gateway joins spans to a W3C
+// traceparent arriving over HTTP.
+type TraceStarter interface {
+	StartTrace(traceID, name string) Span
+}
+
+// StartTrace opens a root span under the given trace ID when the tracer
+// supports adoption, else a plain root span. An empty traceID always
+// falls back to StartSpan.
+func StartTrace(t Tracer, traceID, name string) Span {
+	if ts, ok := t.(TraceStarter); ok && traceID != "" {
+		return ts.StartTrace(traceID, name)
+	}
+	return t.StartSpan(name)
 }
 
 // SpanData is the exported form of a finished span — what the memory
@@ -193,6 +211,9 @@ func NewMemoryTracer() *MemoryTracer { return &MemoryTracer{} }
 // StartSpan implements Tracer.
 func (t *MemoryTracer) StartSpan(name string) Span { return startSpan(t, "", "", name) }
 
+// StartTrace implements TraceStarter.
+func (t *MemoryTracer) StartTrace(traceID, name string) Span { return startSpan(t, traceID, "", name) }
+
 func (t *MemoryTracer) nextID() uint64 { return t.ids.Add(1) }
 
 func (t *MemoryTracer) record(d SpanData) {
@@ -251,6 +272,9 @@ func NewJSONLTracer(w io.Writer) *JSONLTracer { return &JSONLTracer{w: w} }
 
 // StartSpan implements Tracer.
 func (t *JSONLTracer) StartSpan(name string) Span { return startSpan(t, "", "", name) }
+
+// StartTrace implements TraceStarter.
+func (t *JSONLTracer) StartTrace(traceID, name string) Span { return startSpan(t, traceID, "", name) }
 
 func (t *JSONLTracer) nextID() uint64 { return t.ids.Add(1) }
 

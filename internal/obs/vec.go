@@ -1,0 +1,358 @@
+package obs
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Dimensional metrics: a vector is one named metric family whose series
+// are keyed by a small fixed set of label values (tenant, outcome code).
+// The design constraints mirror the scalar metrics in this package:
+//
+//   - nil-safe everywhere — a nil vector hands out nil scalar handles,
+//     so the un-instrumented path stays zero-alloc;
+//   - lock-free on the hot path once a series handle is held (handles
+//     ARE the scalar Counter/Gauge/Histogram types);
+//   - bounded cardinality — each vector folds label sets beyond
+//     MaxSeries into one reserved overflow series, so a tenant-ID flood
+//     degrades attribution instead of OOMing the registry.
+
+// OverflowLabelValue replaces every label value of a series created
+// after a vector hits its series cap.
+const OverflowLabelValue = "_overflow"
+
+// DefaultMaxSeries is the per-vector series cap (overflow series
+// excluded) unless SetMaxSeries overrides it.
+const DefaultMaxSeries = 256
+
+// vecKeySep joins label values into map keys; it cannot occur in UTF-8
+// text labels that matter (0x1f is a C0 control).
+const vecKeySep = "\x1f"
+
+// vecSeries is one (label values → scalar) binding.
+type vecSeries struct {
+	values []string
+	c      *Counter
+	g      *Gauge
+	h      *Histogram
+}
+
+// vecCore is the shared machinery of CounterVec / GaugeVec /
+// HistogramVec.
+type vecCore struct {
+	name   string
+	labels []string
+	kind   metricKind // kind of the element scalars
+	bounds []float64  // histogram vectors only
+
+	mu       sync.RWMutex
+	max      int
+	series   map[string]*vecSeries
+	overflow atomic.Uint64 // label sets folded into the overflow series
+}
+
+func newVecCore(name string, kind metricKind, bounds []float64, labels []string) *vecCore {
+	return &vecCore{
+		name:   name,
+		labels: append([]string(nil), labels...),
+		kind:   kind,
+		bounds: bounds,
+		max:    DefaultMaxSeries,
+		series: make(map[string]*vecSeries),
+	}
+}
+
+// setMax adjusts the series cap (existing series are kept even if they
+// exceed the new cap; only new label sets fold into overflow).
+func (v *vecCore) setMax(n int) {
+	if v == nil || n <= 0 {
+		return
+	}
+	v.mu.Lock()
+	v.max = n
+	v.mu.Unlock()
+}
+
+// with returns (creating if needed) the series for the given label
+// values. Beyond the cap, the overflow series is returned instead.
+func (v *vecCore) with(values []string) *vecSeries {
+	if len(values) != len(v.labels) {
+		panic(fmt.Sprintf("obs: metric %q takes %d label values, got %d",
+			v.name, len(v.labels), len(values)))
+	}
+	key := strings.Join(values, vecKeySep)
+	v.mu.RLock()
+	s, ok := v.series[key]
+	v.mu.RUnlock()
+	if ok {
+		return s
+	}
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if s, ok := v.series[key]; ok {
+		return s
+	}
+	if len(v.series) >= v.max {
+		// Cardinality bound: fold this label set into the overflow
+		// series (which may itself need creating — it does not count
+		// against the cap).
+		v.overflow.Add(1)
+		ovf := make([]string, len(v.labels))
+		for i := range ovf {
+			ovf[i] = OverflowLabelValue
+		}
+		key = strings.Join(ovf, vecKeySep)
+		if s, ok := v.series[key]; ok {
+			return s
+		}
+		values = ovf
+	}
+	s = &vecSeries{values: append([]string(nil), values...)}
+	switch v.kind {
+	case kindCounter:
+		s.c = &Counter{}
+	case kindGauge:
+		s.g = &Gauge{}
+	case kindHistogram:
+		s.h = newHistogram(v.bounds)
+	}
+	v.series[key] = s
+	return s
+}
+
+// sortedSeries snapshots the series sorted by label values, for
+// deterministic export.
+func (v *vecCore) sortedSeries() []*vecSeries {
+	v.mu.RLock()
+	out := make([]*vecSeries, 0, len(v.series))
+	for _, s := range v.series {
+		out = append(out, s)
+	}
+	v.mu.RUnlock()
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i].values, out[j].values
+		for k := range a {
+			if a[k] != b[k] {
+				return a[k] < b[k]
+			}
+		}
+		return false
+	})
+	return out
+}
+
+// labelString renders a series' label pairs in exposition order:
+// `tenant="acme",code="ok"` (extra appends e.g. a histogram le pair).
+func (v *vecCore) labelString(s *vecSeries, extra string) string {
+	var b strings.Builder
+	for i, name := range v.labels {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(name)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabelValue(s.values[i]))
+		b.WriteByte('"')
+	}
+	if extra != "" {
+		if len(v.labels) > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(extra)
+	}
+	return b.String()
+}
+
+// escapeLabelValue applies the Prometheus text-format label escapes.
+func escapeLabelValue(v string) string {
+	if !strings.ContainsAny(v, "\\\"\n") {
+		return v
+	}
+	var b strings.Builder
+	for _, r := range v {
+		switch r {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteRune(r)
+		}
+	}
+	return b.String()
+}
+
+// OverflowCount reports how many label sets were folded into the
+// overflow series (shared implementation for all three vector kinds).
+func (v *vecCore) overflowCount() uint64 {
+	if v == nil {
+		return 0
+	}
+	return v.overflow.Load()
+}
+
+// ---------------------------------------------------------------------
+// CounterVec
+
+// CounterVec is a counter family partitioned by label values. Obtain
+// one from Registry.CounterVec; a nil *CounterVec is valid and hands
+// out nil (no-op) counters.
+type CounterVec struct {
+	core *vecCore
+}
+
+// With returns the counter for the given label values (the overflow
+// counter beyond the series cap). The number of values must match the
+// registered label names.
+func (v *CounterVec) With(values ...string) *Counter {
+	if v == nil {
+		return nil
+	}
+	return v.core.with(values).c
+}
+
+// With1 and With2 are fixed-arity variants of With, used on hot paths
+// so the no-op (nil vector) call builds no argument slice.
+func (v *CounterVec) With1(a string) *Counter {
+	if v == nil {
+		return nil
+	}
+	return v.core.with([]string{a}).c
+}
+
+// With2 is the two-label variant of With1.
+func (v *CounterVec) With2(a, b string) *Counter {
+	if v == nil {
+		return nil
+	}
+	return v.core.with([]string{a, b}).c
+}
+
+// SetMaxSeries overrides the vector's series cap (default
+// DefaultMaxSeries).
+func (v *CounterVec) SetMaxSeries(n int) {
+	if v == nil {
+		return
+	}
+	v.core.setMax(n)
+}
+
+// Sum returns the total across every series.
+func (v *CounterVec) Sum() float64 {
+	if v == nil {
+		return 0
+	}
+	var sum float64
+	for _, s := range v.core.sortedSeries() {
+		sum += s.c.Value()
+	}
+	return sum
+}
+
+// Overflowed reports how many label sets were folded into the overflow
+// series.
+func (v *CounterVec) Overflowed() uint64 {
+	if v == nil {
+		return 0
+	}
+	return v.core.overflowCount()
+}
+
+// ---------------------------------------------------------------------
+// GaugeVec
+
+// GaugeVec is a gauge family partitioned by label values; nil-safe like
+// CounterVec.
+type GaugeVec struct {
+	core *vecCore
+}
+
+// With returns the gauge for the given label values.
+func (v *GaugeVec) With(values ...string) *Gauge {
+	if v == nil {
+		return nil
+	}
+	return v.core.with(values).g
+}
+
+// With1 is the one-label fixed-arity variant of With.
+func (v *GaugeVec) With1(a string) *Gauge {
+	if v == nil {
+		return nil
+	}
+	return v.core.with([]string{a}).g
+}
+
+// With2 is the two-label variant of With1.
+func (v *GaugeVec) With2(a, b string) *Gauge {
+	if v == nil {
+		return nil
+	}
+	return v.core.with([]string{a, b}).g
+}
+
+// SetMaxSeries overrides the vector's series cap.
+func (v *GaugeVec) SetMaxSeries(n int) {
+	if v == nil {
+		return
+	}
+	v.core.setMax(n)
+}
+
+// Sum returns the total across every series.
+func (v *GaugeVec) Sum() float64 {
+	if v == nil {
+		return 0
+	}
+	var sum float64
+	for _, s := range v.core.sortedSeries() {
+		sum += s.g.Value()
+	}
+	return sum
+}
+
+// ---------------------------------------------------------------------
+// HistogramVec
+
+// HistogramVec is a histogram family partitioned by label values; every
+// series shares the bounds given at registration. Nil-safe.
+type HistogramVec struct {
+	core *vecCore
+}
+
+// With returns the histogram for the given label values.
+func (v *HistogramVec) With(values ...string) *Histogram {
+	if v == nil {
+		return nil
+	}
+	return v.core.with(values).h
+}
+
+// With1 is the one-label fixed-arity variant of With.
+func (v *HistogramVec) With1(a string) *Histogram {
+	if v == nil {
+		return nil
+	}
+	return v.core.with([]string{a}).h
+}
+
+// With2 is the two-label variant of With1.
+func (v *HistogramVec) With2(a, b string) *Histogram {
+	if v == nil {
+		return nil
+	}
+	return v.core.with([]string{a, b}).h
+}
+
+// SetMaxSeries overrides the vector's series cap.
+func (v *HistogramVec) SetMaxSeries(n int) {
+	if v == nil {
+		return
+	}
+	v.core.setMax(n)
+}

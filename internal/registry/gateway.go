@@ -7,7 +7,10 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"strconv"
 	"strings"
+	"sync"
+	"time"
 
 	"datasculpt/internal/bundle"
 	"datasculpt/internal/obs"
@@ -29,6 +32,17 @@ type GatewayOptions struct {
 	// MaxBundleBytes bounds bundle uploads (default 64 MiB).
 	MaxLabelBytes  int64
 	MaxBundleBytes int64
+	// AccessLog emits one structured log line per request (-access-log).
+	// Off by default: at bench-serve rates the log stream itself becomes
+	// the bottleneck.
+	AccessLog bool
+	// AccessLogMaxPerSec rate-caps access log lines (default 200/s);
+	// requests beyond the cap are served normally but not logged, and
+	// the suppressed count rides along on the next emitted line.
+	AccessLogMaxPerSec int
+	// SLOObjective is the availability target /v1/stats reports burn
+	// rates against (default 0.999).
+	SLOObjective float64
 }
 
 func (o GatewayOptions) withDefaults() GatewayOptions {
@@ -40,6 +54,12 @@ func (o GatewayOptions) withDefaults() GatewayOptions {
 	}
 	if o.MaxBundleBytes <= 0 {
 		o.MaxBundleBytes = 64 << 20
+	}
+	if o.AccessLogMaxPerSec <= 0 {
+		o.AccessLogMaxPerSec = 200
+	}
+	if o.SLOObjective <= 0 || o.SLOObjective >= 1 {
+		o.SLOObjective = 0.999
 	}
 	return o
 }
@@ -61,8 +81,18 @@ type Gateway struct {
 	reg  *Registry
 	o    *obs.Obs
 	opts GatewayOptions
+	slo  *obs.SLOTracker
 
 	mMisdirected *obs.Counter
+	mHTTP        *obs.CounterVec
+
+	// logMu guards the access-log rate cap: emitted counts the lines in
+	// the current one-second window, suppressed the requests the cap
+	// swallowed since the last emitted line.
+	logMu      sync.Mutex
+	logWindow  int64
+	emitted    int
+	suppressed int
 }
 
 // NewGateway wires the HTTP surface around a registry. The obs bundle
@@ -72,8 +102,11 @@ func NewGateway(reg *Registry, o *obs.Obs, opts GatewayOptions) *Gateway {
 		o = obs.Default()
 	}
 	g := &Gateway{reg: reg, o: o, opts: opts.withDefaults()}
+	g.slo = obs.NewSLOTracker(obs.SLOOptions{Objective: g.opts.SLOObjective})
 	g.mMisdirected = o.Metrics.Counter("serve_misdirected_total",
 		"Requests for tenants owned by another shard (answered 421).")
+	g.mHTTP = o.Metrics.CounterVec("serve_http_requests_total",
+		"Gateway HTTP requests, by route and status code.", "route", "code")
 	return g
 }
 
@@ -117,7 +150,9 @@ type healthResponse struct {
 	Replicas int    `json:"replicas"`
 }
 
-// Handler returns the gateway's mux.
+// Handler returns the gateway's mux, wrapped in the observability
+// middleware (request IDs, trace propagation, per-route metrics, SLO
+// accounting, optional access logs).
 func (g *Gateway) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/v1/label", methods("POST", func(w http.ResponseWriter, r *http.Request) {
@@ -129,12 +164,197 @@ func (g *Gateway) Handler() http.Handler {
 	mux.HandleFunc("/v1/bundles", methods("GET", g.handleBundles))
 	mux.HandleFunc("/v1/bundles/{tenant}", methods("POST", g.handlePromote))
 	mux.HandleFunc("/v1/bundles/{tenant}/rollback", methods("POST", g.handleRollback))
+	mux.HandleFunc("/v1/stats", methods("GET", g.handleStats))
 	mux.HandleFunc("/healthz", methods("GET", g.handleHealth))
 	mux.HandleFunc("/metrics", methods("GET", g.handleMetrics))
 	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusNotFound, "not_found", "no route for %s", r.URL.Path)
 	})
-	return mux
+	return g.instrument(mux)
+}
+
+// gwMeta carries what a handler learns about its request (which tenant,
+// how many texts) back out to the middleware that opened the span.
+type gwMeta struct {
+	tenant string
+	texts  int
+}
+
+type gwMetaKey struct{}
+
+func metaFrom(ctx context.Context) *gwMeta {
+	m, _ := ctx.Value(gwMetaKey{}).(*gwMeta)
+	return m
+}
+
+// statusWriter captures the status code and body size a handler wrote.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+	bytes  int64
+}
+
+func (sw *statusWriter) WriteHeader(status int) {
+	if sw.status == 0 {
+		sw.status = status
+	}
+	sw.ResponseWriter.WriteHeader(status)
+}
+
+func (sw *statusWriter) Write(p []byte) (int, error) {
+	if sw.status == 0 {
+		sw.status = http.StatusOK
+	}
+	n, err := sw.ResponseWriter.Write(p)
+	sw.bytes += int64(n)
+	return n, err
+}
+
+// routeLabel maps a request path to the bounded route label of
+// serve_http_requests_total — the path itself (tenant IDs, typos) must
+// never become a label value.
+func routeLabel(path string) string {
+	switch {
+	case path == "/v1/label" || (strings.HasPrefix(path, "/v1/tenants/") && strings.HasSuffix(path, "/label")):
+		return "label"
+	case path == "/v1/bundles":
+		return "bundles"
+	case strings.HasPrefix(path, "/v1/bundles/") && strings.HasSuffix(path, "/rollback"):
+		return "rollback"
+	case strings.HasPrefix(path, "/v1/bundles/"):
+		return "promote"
+	case path == "/v1/stats":
+		return "stats"
+	case path == "/healthz":
+		return "health"
+	case path == "/metrics":
+		return "metrics"
+	}
+	return "other"
+}
+
+// instrument wraps the mux with the per-request observability pipeline:
+//
+//  1. resolve a request ID (echo a sane incoming X-Request-Id, else
+//     mint one) and a trace ID (join an incoming W3C traceparent, else
+//     mint one), and echo both on the response;
+//  2. open the gateway.request root span under that trace ID and put it
+//     on the context, so the coalescer's serve.label span nests under it;
+//  3. after the handler: per-route/status counters, per-tenant SLO
+//     accounting, and the optional rate-capped access log line.
+func (g *Gateway) instrument(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		rid := sanitizeRequestID(r.Header.Get("X-Request-Id"))
+		if rid == "" {
+			rid = obs.NewRequestID()
+		}
+		traceID, _, ok := obs.ParseTraceparent(r.Header.Get("traceparent"))
+		if !ok {
+			traceID = obs.NewTraceID()
+		}
+		w.Header().Set("X-Request-Id", rid)
+		// The traceparent's parent-id field must be exactly 16 hex
+		// digits; an echoed client request ID of another shape cannot be
+		// reused there without producing an unparseable header.
+		parentID := rid
+		if !obs.IsHexID(parentID, 16) {
+			parentID = obs.NewRequestID()
+		}
+		w.Header().Set("Traceparent", obs.FormatTraceparent(traceID, parentID))
+
+		span := obs.StartTrace(g.o.Tracer, traceID, "gateway.request")
+		span.SetStr("request_id", rid)
+
+		meta := &gwMeta{}
+		ctx := context.WithValue(r.Context(), gwMetaKey{}, meta)
+		ctx = obs.ContextWithSpan(ctx, span)
+		sw := &statusWriter{ResponseWriter: w}
+		next.ServeHTTP(sw, r.WithContext(ctx))
+
+		if sw.status == 0 {
+			sw.status = http.StatusOK
+		}
+		dur := time.Since(start)
+		route := routeLabel(r.URL.Path)
+		span.SetStr("route", route)
+		span.SetInt("status", int64(sw.status))
+		if meta.tenant != "" {
+			span.SetStr("tenant", meta.tenant)
+		}
+		if meta.texts > 0 {
+			span.SetInt("texts", int64(meta.texts))
+		}
+		if sw.status >= 500 {
+			span.SetErr(fmt.Errorf("http %d", sw.status))
+		}
+		span.End()
+
+		g.mHTTP.With2(route, strconv.Itoa(sw.status)).Inc()
+		if meta.tenant != "" {
+			g.slo.Observe(meta.tenant, dur.Seconds(), sw.status >= 500)
+		}
+		if g.opts.AccessLog {
+			g.accessLog(r, sw, meta, rid, traceID, dur)
+		}
+	})
+}
+
+// accessLog emits one structured line for the request, enforcing the
+// per-second cap.
+func (g *Gateway) accessLog(r *http.Request, sw *statusWriter, meta *gwMeta, rid, traceID string, dur time.Duration) {
+	now := time.Now().Unix()
+	g.logMu.Lock()
+	if now != g.logWindow {
+		g.logWindow, g.emitted = now, 0
+	}
+	if g.emitted >= g.opts.AccessLogMaxPerSec {
+		g.suppressed++
+		g.logMu.Unlock()
+		return
+	}
+	g.emitted++
+	suppressed := g.suppressed
+	g.suppressed = 0
+	g.logMu.Unlock()
+
+	attrs := []any{
+		"method", r.Method,
+		"path", r.URL.Path,
+		"route", routeLabel(r.URL.Path),
+		"status", sw.status,
+		"bytes", sw.bytes,
+		"duration_ms", float64(dur) / float64(time.Millisecond),
+		"request_id", rid,
+		"trace_id", traceID,
+	}
+	if meta.tenant != "" {
+		attrs = append(attrs, "tenant", meta.tenant)
+	}
+	if meta.texts > 0 {
+		attrs = append(attrs, "texts", meta.texts)
+	}
+	if suppressed > 0 {
+		attrs = append(attrs, "suppressed", suppressed)
+	}
+	g.o.Logger.Info("access", attrs...)
+}
+
+// sanitizeRequestID accepts a caller-supplied request ID only when it is
+// short and header/log-safe; anything else is replaced with a minted ID.
+func sanitizeRequestID(id string) string {
+	if id == "" || len(id) > 64 {
+		return ""
+	}
+	for i := 0; i < len(id); i++ {
+		c := id[i]
+		ok := c == '-' || c == '_' || c == '.' ||
+			(c >= '0' && c <= '9') || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+		if !ok {
+			return ""
+		}
+	}
+	return id
 }
 
 // methods guards a handler: non-matching verbs get 405 with an Allow
@@ -176,6 +396,9 @@ func (g *Gateway) checkShard(w http.ResponseWriter, tenant string) bool {
 }
 
 func (g *Gateway) handleLabel(w http.ResponseWriter, r *http.Request, tenant string) {
+	if m := metaFrom(r.Context()); m != nil {
+		m.tenant = tenant
+	}
 	if !g.checkShard(w, tenant) {
 		return
 	}
@@ -201,6 +424,9 @@ func (g *Gateway) handleLabel(w http.ResponseWriter, r *http.Request, tenant str
 	texts := req.Texts
 	if single {
 		texts = []string{req.Text}
+	}
+	if m := metaFrom(r.Context()); m != nil {
+		m.texts = len(texts)
 	}
 	preds, err := g.reg.Label(r.Context(), tenant, texts, req.Explain)
 	if err != nil {
@@ -318,8 +544,39 @@ func (g *Gateway) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusNotFound, "not_found", "metrics registry disabled")
 		return
 	}
+	obs.SetRuntimeGauges(g.o.Metrics)
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
 	g.o.Metrics.WritePrometheus(w) //nolint:errcheck — client went away
+}
+
+// sloWindows are the rolling windows /v1/stats reports.
+var sloWindows = []time.Duration{time.Minute, 5 * time.Minute, time.Hour}
+
+// statsResponse is the /v1/stats body: per-tenant SLO windows plus a
+// runtime health snapshot.
+type statsResponse struct {
+	Objective float64                      `json:"objective"`
+	Windows   []string                     `json:"windows"`
+	Tenants   map[string][]obs.WindowStats `json:"tenants"`
+	Runtime   obs.RuntimeSnapshot          `json:"runtime"`
+	Sampler   *obs.SamplerStats            `json:"trace_sampler,omitempty"`
+}
+
+func (g *Gateway) handleStats(w http.ResponseWriter, r *http.Request) {
+	resp := statsResponse{
+		Objective: g.slo.Objective(),
+		Windows:   make([]string, len(sloWindows)),
+		Tenants:   g.slo.StatsAll(sloWindows...),
+		Runtime:   obs.ReadRuntime(),
+	}
+	for i, win := range sloWindows {
+		resp.Windows[i] = win.String()
+	}
+	if st, ok := g.o.Tracer.(*obs.SampledTracer); ok {
+		s := st.Stats()
+		resp.Sampler = &s
+	}
+	writeJSON(w, resp)
 }
 
 func writeJSON(w http.ResponseWriter, v any) {

@@ -221,11 +221,11 @@ type Registry struct {
 	clock   int64
 	closed  bool
 
-	mLoads     *obs.Counter
-	mEvictions *obs.Counter
-	mSwaps     *obs.Counter
-	mRollbacks *obs.Counter
-	mShadowRej *obs.Counter
+	mLoads     *obs.CounterVec
+	mEvictions *obs.CounterVec
+	mSwaps     *obs.CounterVec
+	mRollbacks *obs.CounterVec
+	mShadowRej *obs.CounterVec
 	mResident  *obs.Gauge
 	mTenants   *obs.Gauge
 }
@@ -242,14 +242,22 @@ func New(o *obs.Obs, opts Options) *Registry {
 		tenants: make(map[string]*entry),
 	}
 	reg := o.Metrics
-	r.mLoads = reg.Counter("serve_bundle_loads_total", "Bundles mapped into a live server (registrations, reloads, promotions).")
-	r.mEvictions = reg.Counter("serve_bundle_evictions_total", "Resident bundles unmapped by the LRU.")
-	r.mSwaps = reg.Counter("serve_bundle_swaps_total", "Hot-swap promotions applied.")
-	r.mRollbacks = reg.Counter("serve_bundle_rollbacks_total", "Rollbacks applied.")
-	r.mShadowRej = reg.Counter("serve_shadow_rejects_total", "Promotions rejected by the shadow-score gate.")
+	r.mLoads = reg.CounterVec("serve_bundle_loads_total", "Bundles mapped into a live server (registrations, reloads, promotions).", "tenant")
+	r.mEvictions = reg.CounterVec("serve_bundle_evictions_total", "Resident bundles unmapped by the LRU.", "tenant")
+	r.mSwaps = reg.CounterVec("serve_bundle_swaps_total", "Hot-swap promotions applied.", "tenant")
+	r.mRollbacks = reg.CounterVec("serve_bundle_rollbacks_total", "Rollbacks applied.", "tenant")
+	r.mShadowRej = reg.CounterVec("serve_shadow_rejects_total", "Promotions rejected by the shadow-score gate.", "tenant")
 	r.mResident = reg.Gauge("serve_bundles_resident", "Tenants with a mapped server right now.")
 	r.mTenants = reg.Gauge("serve_tenants", "Registered tenants.")
 	return r
+}
+
+// serveOpts returns the shared coalescer configuration stamped with the
+// tenant, so every serve.Server emits tenant-labeled metrics.
+func (r *Registry) serveOpts(tenant string) serve.Options {
+	o := r.opts.Serve
+	o.Tenant = tenant
+	return o
 }
 
 func validTenant(tenant string) error {
@@ -312,7 +320,7 @@ func (r *Registry) install(tenant string, b *bundle.Bundle, source string, pin b
 	r.mu.Unlock()
 
 	e.mu.Lock()
-	srv, err := serve.New(b, r.o, r.opts.Serve)
+	srv, err := serve.New(b, r.o, r.serveOpts(tenant))
 	if err != nil {
 		e.mu.Unlock()
 		r.mu.Lock()
@@ -327,7 +335,7 @@ func (r *Registry) install(tenant string, b *bundle.Bundle, source string, pin b
 	e.setInfo(b, source, 0)
 	e.cur.Store(h)
 	e.mu.Unlock()
-	r.mLoads.Inc()
+	r.mLoads.With1(tenant).Inc()
 	r.rebalance(e)
 	return nil
 }
@@ -437,14 +445,14 @@ func (r *Registry) mapIn(e *entry) (*handle, error) {
 		// the bundle's mutable worker configuration.
 		<-e.lastHandle.done
 	}
-	srv, err := serve.New(b, r.o, r.opts.Serve)
+	srv, err := serve.New(b, r.o, r.serveOpts(e.tenant))
 	if err != nil {
 		return nil, err
 	}
 	h := newHandle(srv, b)
 	e.lastHandle = h
 	e.cur.Store(h)
-	r.mLoads.Inc()
+	r.mLoads.With1(e.tenant).Inc()
 	r.rebalance(e)
 	return h, nil
 }
@@ -483,7 +491,7 @@ func (r *Registry) rebalance(keep *entry) {
 			continue // lost a race with a swap on this entry; re-count
 		}
 		resident--
-		r.mEvictions.Inc()
+		r.mEvictions.With1(victim.tenant).Inc()
 		releases = append(releases, h)
 	}
 	r.mResident.Set(float64(resident))
@@ -536,12 +544,12 @@ func (r *Registry) Promote(tenant string, nb *bundle.Bundle, force bool) (*Promo
 			rep.ShadowSample = len(sample)
 			rep.Agreement = shadowAgreement(old.b, nb, sample)
 			if rep.Agreement < r.opts.ShadowAgreement {
-				r.mShadowRej.Inc()
+				r.mShadowRej.With1(tenant).Inc()
 				return rep, ErrShadowGate
 			}
 		}
 	}
-	srv, err := serve.New(nb, r.o, r.opts.Serve)
+	srv, err := serve.New(nb, r.o, r.serveOpts(tenant))
 	if err != nil {
 		return nil, err
 	}
@@ -570,8 +578,8 @@ func (r *Registry) Promote(tenant string, nb *bundle.Bundle, force bool) (*Promo
 		// already released it.
 		e.cur.Store(h)
 	}
-	r.mSwaps.Inc()
-	r.mLoads.Inc()
+	r.mSwaps.With1(tenant).Inc()
+	r.mLoads.With1(tenant).Inc()
 	r.rebalance(e)
 	return rep, nil
 }
@@ -632,7 +640,7 @@ func (r *Registry) Rollback(tenant string) (*PromoteReport, error) {
 		// before building a new one over the same object.
 		<-e.prevHandle.done
 	}
-	srv, err := serve.New(pb, r.o, r.opts.Serve)
+	srv, err := serve.New(pb, r.o, r.serveOpts(tenant))
 	if err != nil {
 		r.rebalance(e)
 		return nil, err
@@ -645,8 +653,8 @@ func (r *Registry) Rollback(tenant string) (*PromoteReport, error) {
 	e.gen++
 	e.setInfo(pb, "rollback", e.gen)
 	e.cur.Store(h)
-	r.mRollbacks.Inc()
-	r.mLoads.Inc()
+	r.mRollbacks.With1(tenant).Inc()
+	r.mLoads.With1(tenant).Inc()
 	r.rebalance(e)
 	return &PromoteReport{Tenant: tenant, Generation: e.gen}, nil
 }

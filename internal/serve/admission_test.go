@@ -11,8 +11,18 @@ import (
 )
 
 func gaugeValue(reg *obs.Registry, name string) float64 {
-	v, _ := reg.Snapshot()[name].(float64)
-	return v
+	switch v := reg.Snapshot()[name].(type) {
+	case float64:
+		return v
+	case map[string]any: // gauge vector: sum the tenant series
+		var sum float64
+		for _, sv := range v {
+			f, _ := sv.(float64)
+			sum += f
+		}
+		return sum
+	}
+	return 0
 }
 
 func waitCounter(t *testing.T, read func() float64, want float64, what string) {

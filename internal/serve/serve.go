@@ -50,6 +50,11 @@ type Options struct {
 	// is admitted only when the queue is idle, so oversized offline-style
 	// batches still make progress without unbounding memory.
 	QueueDepth int
+	// Tenant labels every serve_* metric this server emits (default
+	// "default"). One Server serves one bundle for one tenant, so the
+	// per-tenant metric handles are resolved once at construction and
+	// the hot path touches only scalar counters.
+	Tenant string
 }
 
 func (o Options) withDefaults() Options {
@@ -62,8 +67,19 @@ func (o Options) withDefaults() Options {
 	if o.QueueDepth <= 0 {
 		o.QueueDepth = 16 * o.MaxBatch
 	}
+	if o.Tenant == "" {
+		o.Tenant = "default"
+	}
 	return o
 }
+
+// Request outcome codes, the `code` label of serve_requests_total.
+const (
+	codeOK       = "ok"
+	codeShed     = "shed"
+	codeClosed   = "closed"
+	codeCanceled = "canceled"
+)
 
 // LFVote is one active label function in an explained prediction.
 type LFVote struct {
@@ -128,16 +144,22 @@ type Server struct {
 	// still while they fill the queue deterministically.
 	beforeBatch func()
 
-	mRequests *obs.Counter
-	mTexts    *obs.Counter
-	mBatches  *obs.Counter
-	mErrors   *obs.Counter
-	mShed     *obs.Counter
-	mDropped  *obs.Counter
-	mInflight *obs.Gauge
-	mQueue    *obs.Gauge
-	mBatchSz  *obs.Histogram
-	mLatency  *obs.Histogram
+	// Per-outcome request counters and the rest of the tenant's series,
+	// curried once in New so the hot path sees plain scalar handles.
+	mReqOK       *obs.Counter
+	mReqShed     *obs.Counter
+	mReqClosed   *obs.Counter
+	mReqCanceled *obs.Counter
+	mErrClosed   *obs.Counter
+	mErrCanceled *obs.Counter
+	mTexts       *obs.Counter
+	mBatches     *obs.Counter
+	mShed        *obs.Counter
+	mDropped     *obs.Counter
+	mInflight    *obs.Gauge
+	mQueue       *obs.Gauge
+	mBatchSz     *obs.Histogram
+	mLatency     *obs.Histogram
 }
 
 // New wires a server around a validated bundle. The obs bundle may be
@@ -168,16 +190,23 @@ func New(b *bundle.Bundle, o *obs.Obs, opts Options) (*Server, error) {
 		s.predictor = b.LabelModel.NewPredictor()
 	}
 	reg := o.Metrics
-	s.mRequests = reg.Counter("serve_requests_total", "Label requests received.")
-	s.mTexts = reg.Counter("serve_texts_total", "Texts labeled.")
-	s.mBatches = reg.Counter("serve_batches_total", "Micro-batches dispatched.")
-	s.mErrors = reg.Counter("serve_errors_total", "Requests that failed.")
-	s.mShed = reg.Counter("serve_shed_total", "Requests rejected by admission control (queue full).")
-	s.mDropped = reg.Counter("serve_dropped_total", "Queued texts dropped because their request's context ended before the batch fired.")
-	s.mInflight = reg.Gauge("serve_inflight", "Label requests currently in flight.")
-	s.mQueue = reg.Gauge("serve_queue_depth", "Texts admitted to the coalescer queue and not yet dequeued.")
-	s.mBatchSz = reg.Histogram("serve_batch_size", "Texts per dispatched micro-batch.", obs.BatchSizeBuckets)
-	s.mLatency = reg.Histogram("serve_request_seconds", "Label request latency.", obs.DurationBuckets)
+	tenant := opts.Tenant
+	requests := reg.CounterVec("serve_requests_total", "Label requests received, by tenant and outcome.", "tenant", "code")
+	s.mReqOK = requests.With2(tenant, codeOK)
+	s.mReqShed = requests.With2(tenant, codeShed)
+	s.mReqClosed = requests.With2(tenant, codeClosed)
+	s.mReqCanceled = requests.With2(tenant, codeCanceled)
+	errs := reg.CounterVec("serve_errors_total", "Requests that failed, by tenant and cause.", "tenant", "code")
+	s.mErrClosed = errs.With2(tenant, codeClosed)
+	s.mErrCanceled = errs.With2(tenant, codeCanceled)
+	s.mTexts = reg.CounterVec("serve_texts_total", "Texts labeled.", "tenant").With1(tenant)
+	s.mBatches = reg.CounterVec("serve_batches_total", "Micro-batches dispatched.", "tenant").With1(tenant)
+	s.mShed = reg.CounterVec("serve_shed_total", "Requests rejected by admission control (queue full).", "tenant").With1(tenant)
+	s.mDropped = reg.CounterVec("serve_dropped_total", "Queued texts dropped because their request's context ended before the batch fired.", "tenant").With1(tenant)
+	s.mInflight = reg.GaugeVec("serve_inflight", "Label requests currently in flight.", "tenant").With1(tenant)
+	s.mQueue = reg.GaugeVec("serve_queue_depth", "Texts admitted to the coalescer queue and not yet dequeued.", "tenant").With1(tenant)
+	s.mBatchSz = reg.HistogramVec("serve_batch_size", "Texts per dispatched micro-batch.", obs.BatchSizeBuckets, "tenant").With1(tenant)
+	s.mLatency = reg.HistogramVec("serve_request_seconds", "Label request latency.", obs.DurationBuckets, "tenant").With1(tenant)
 
 	s.loop.Add(1)
 	go s.batchLoop()
@@ -202,8 +231,8 @@ func (s *Server) Label(ctx context.Context, texts []string, explain bool) ([]Pre
 	span := s.o.StartSpan(ctx, "serve.label")
 	span.SetInt("texts", int64(len(texts)))
 	defer span.End()
-	s.mRequests.Inc()
 	if err := s.admit(len(texts)); err != nil {
+		s.mReqShed.Inc()
 		s.mShed.Inc()
 		span.SetErr(err)
 		return nil, err
@@ -231,7 +260,8 @@ func (s *Server) Label(ctx context.Context, texts []string, explain bool) ([]Pre
 	if s.closed {
 		s.mu.Unlock()
 		s.mQueue.Set(float64(s.depth.Add(-int64(len(texts)))))
-		s.mErrors.Inc()
+		s.mReqClosed.Inc()
+		s.mErrClosed.Inc()
 		span.SetErr(ErrClosed)
 		return nil, ErrClosed
 	}
@@ -244,10 +274,12 @@ func (s *Server) Label(ctx context.Context, texts []string, explain bool) ([]Pre
 
 	select {
 	case <-req.done:
+		s.mReqOK.Inc()
 		s.mLatency.Observe(time.Since(start).Seconds())
 		return req.preds, nil
 	case <-ctx.Done():
-		s.mErrors.Inc()
+		s.mReqCanceled.Inc()
+		s.mErrCanceled.Inc()
 		span.SetErr(ctx.Err())
 		return nil, fmt.Errorf("serve: %w", ctx.Err())
 	}
