@@ -10,9 +10,9 @@ GO ?= go
 # pass.
 COVERAGE_FLOOR = 82.8
 
-.PHONY: ci vet build test race chaos stress fuzz-smoke cover-check metrics-lint bench bench-grid bench-json bench-smoke bench-serve bench-serve-smoke clean
+.PHONY: ci vet build test race chaos stress fuzz-smoke cover-check metrics-lint bench bench-grid bench-json bench-smoke bench-seu-smoke bench-serve bench-serve-smoke clean
 
-ci: vet build test race chaos stress fuzz-smoke cover-check metrics-lint bench-smoke bench-serve-smoke
+ci: vet build test race chaos stress fuzz-smoke cover-check metrics-lint bench-smoke bench-seu-smoke bench-serve-smoke
 
 vet:
 	$(GO) vet ./...
@@ -32,12 +32,13 @@ chaos:
 	$(GO) test -race -run 'Chaos|LoadCheckpoint' -count=1 ./internal/experiment/
 
 # evaluation-engine determinism under the race detector: incremental
-# vote-matrix appends, parallel EM, and a Parallelism: N vs 1 pipeline
-# run must all be race-free and bit-identical
+# vote-matrix appends, parallel EM, the SEU scoring engine, and a
+# Parallelism: N vs 1 pipeline run must all be race-free and
+# bit-identical
 stress:
 	$(GO) test -race -count=1 \
-		-run 'Parallel|Incremental|ComputeStats|WarmStart|InterimCache|VoteMatrix|Chunks|For|Normalize' \
-		./internal/par/ ./internal/lf/ ./internal/labelmodel/ ./internal/textproc/ ./internal/core/
+		-run 'Parallel|Incremental|ComputeStats|WarmStart|InterimCache|VoteMatrix|Chunks|For|Normalize|SEU' \
+		./internal/par/ ./internal/lf/ ./internal/labelmodel/ ./internal/textproc/ ./internal/core/ ./internal/sampler/
 
 # 30 seconds of coverage-guided fuzzing per target on the two parsers
 # that face untrusted input: LLM completions and raw text. `go test
@@ -86,6 +87,11 @@ bench-json:
 # the evaluation engine run end to end (wired into ci)
 bench-smoke:
 	$(GO) test -bench=EvalSmoke -benchtime=1x -run XXX .
+
+# the SEU counterpart at the same smoke scale: exercises the memoized
+# keyword-utility scoring engine end to end (wired into ci)
+bench-seu-smoke:
+	$(GO) test -bench=SEUSmoke -benchtime=1x -run XXX .
 
 # serving load benchmark: train a small bundle, drive mixed multi-tenant
 # single/batch traffic through an in-process loopback daemon (registry,

@@ -83,3 +83,25 @@ func BenchmarkEvalSmoke(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkSEUSmoke is the `make bench-seu-smoke` target: the same
+// scaled-down run through the SEU sampler, so CI exercises the memoized
+// keyword-utility scoring engine (cache build, parallel candidate
+// scoring, cross-call reuse) end to end on every change.
+func BenchmarkSEUSmoke(b *testing.B) {
+	d, err := datasculpt.LoadDataset("youtube", 11, 0.3)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cfg := datasculpt.DefaultConfig(datasculpt.VariantBase)
+		cfg.Sampler = "seu"
+		cfg.Iterations = 10
+		cfg.Seed = 11
+		if _, err := datasculpt.Run(d, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

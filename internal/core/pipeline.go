@@ -57,10 +57,11 @@ type evalMetrics struct {
 	lmFits      *obs.Counter
 	warmStarts  *obs.Counter
 	emIters     *obs.Histogram
-	interimHits *obs.Counter
-	trainProba  *obs.Histogram
-	interim     *obs.Histogram
-	finalEval   *obs.Histogram
+	interimHits     *obs.Counter
+	interimFailures *obs.Counter
+	trainProba      *obs.Histogram
+	interim         *obs.Histogram
+	finalEval       *obs.Histogram
 }
 
 func newEvalMetrics(reg *obs.Registry) evalMetrics {
@@ -75,6 +76,8 @@ func newEvalMetrics(reg *obs.Registry) evalMetrics {
 			obs.IterationBuckets),
 		interimHits: reg.Counter("eval_interim_cache_hits_total",
 			"interim refreshes served from cache because the LF set was unchanged"),
+		interimFailures: reg.Counter("eval_interim_failures_total",
+			"interim refreshes that failed, degrading model-driven samplers to stale scores"),
 		trainProba: reg.Histogram("eval_train_proba_seconds", "train-split aggregation wall clock", obs.DurationBuckets),
 		interim:    reg.Histogram("eval_interim_seconds", "interim model refresh wall clock", obs.DurationBuckets),
 		finalEval:  reg.Histogram("eval_final_seconds", "final evaluation wall clock", obs.DurationBuckets),
@@ -181,6 +184,8 @@ func RunContext(ctx context.Context, d *dataset.Dataset, cfg Config) (res *Resul
 		Used:       make([]bool, len(d.Train)),
 		TrainIndex: trainIx,
 		ValidIndex: validIx,
+		Workers:    cfg.Parallelism,
+		Metrics:    o.Metrics,
 	}
 	needsInterim := cfg.Sampler == "uncertain" || cfg.Sampler == "qbc"
 
@@ -191,7 +196,7 @@ func RunContext(ctx context.Context, d *dataset.Dataset, cfg Config) (res *Resul
 	nSamples := cfg.samplesPerQuery()
 
 	ev := &evaluator{
-		d: d, feat: feat, trainIx: trainIx, cfg: cfg,
+		d: d, feat: feat, trainIx: trainIx, validIx: validIx, cfg: cfg,
 		workers: cfg.Parallelism, em: newEvalMetrics(o.Metrics),
 	}
 	if cfg.Sampler == "coreset" {
@@ -302,12 +307,22 @@ func RunContext(ctx context.Context, d *dataset.Dataset, cfg Config) (res *Resul
 		pm.lfsKept.AddInt(kept)
 		pm.lfsPerIter.Observe(float64(kept))
 
-		// Refresh the interim model behind model-driven samplers.
+		// Refresh the interim model behind model-driven samplers. A
+		// failed refresh degrades the sampler to stale (or no) scores
+		// rather than aborting the run, but never silently: the span
+		// records the error, the log says which iteration degraded, and
+		// eval_interim_failures_total counts it.
 		if needsInterim && (it+1)%cfg.UncertainRefreshEvery == 0 {
 			interimSpan := itSpan.Child("interim")
 			if endProba, lmProba, err := ev.interimTrainProba(chain.Accepted(), rng); err == nil {
 				state.TrainProba = endProba
 				state.LabelProba = lmProba
+			} else {
+				interimSpan.SetErr(err)
+				ev.em.interimFailures.Inc()
+				o.Logger.LogAttrs(ctx, slog.LevelWarn, "interim refresh failed",
+					slog.Int("iteration", it), slog.Int("query_id", id),
+					slog.String("error", err.Error()))
 			}
 			interimSpan.End()
 		}
@@ -402,6 +417,10 @@ type evaluator struct {
 	d       *dataset.Dataset
 	feat    *textproc.Featurizer
 	trainIx *lf.Index
+	// validIx is the shared validation index the weighted label model
+	// measures accuracies against; built lazily when the pipeline did
+	// not hand one over (EvaluateLFSet), and reused across every fit.
+	validIx *lf.Index
 	cfg     Config
 	workers int
 	em      evalMetrics
@@ -481,7 +500,10 @@ func (ev *evaluator) labelModel(lfs []lf.LabelFunction) (labelmodel.LabelModel, 
 	case "dawid-skene":
 		return labelmodel.NewDawidSkene(), nil
 	case "weighted":
-		return labelmodel.NewWeightedVoteFromValidation(ev.d.Valid, lfs), nil
+		if ev.validIx == nil {
+			ev.validIx = lf.NewIndex(ev.d.Valid)
+		}
+		return labelmodel.NewWeightedVoteFromValidationIndexed(ev.validIx, lfs), nil
 	default:
 		return nil, fmt.Errorf("core: unknown label model %q", ev.cfg.LabelModel)
 	}

@@ -11,6 +11,7 @@ import (
 	"datasculpt/internal/dataset"
 	"datasculpt/internal/lf"
 	"datasculpt/internal/llm"
+	"datasculpt/internal/obs"
 )
 
 // smallRun executes a scaled-down pipeline for tests.
@@ -420,6 +421,90 @@ func TestRunWrapModelWithRetryMatchesBaseline(t *testing.T) {
 	}
 	if wrapped.FailedIterations != 0 {
 		t.Errorf("FailedIterations = %d, want 0 (retries absorb the faults)", wrapped.FailedIterations)
+	}
+}
+
+// uselessModel answers every prompt with a well-formed response whose
+// keyword never occurs in any corpus, so every candidate LF is filtered
+// and the accepted set stays empty.
+type uselessModel struct{ inner llm.ChatModel }
+
+func (g uselessModel) ModelName() string           { return g.inner.ModelName() }
+func (g uselessModel) Pricing() (float64, float64) { return g.inner.Pricing() }
+func (g uselessModel) Chat(ctx context.Context, messages []llm.Message, temperature float64, n int) ([]llm.Response, error) {
+	resp, err := g.inner.Chat(ctx, messages, temperature, n)
+	for i := range resp {
+		resp[i].Content = "Keywords: zzyqqvx\nLabel: 0"
+	}
+	return resp, err
+}
+
+// TestRunInterimFailureRecorded: when the interim refresh behind a
+// model-driven sampler cannot run (here: no LF ever survives the
+// filters), the failure must be counted in eval_interim_failures_total
+// instead of being swallowed — the sampler silently degrading to stale
+// scores was a latent bug.
+func TestRunInterimFailureRecorded(t *testing.T) {
+	d, err := dataset.Load("youtube", 11, 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig(VariantBase)
+	cfg.Iterations = 10
+	cfg.Seed = 11
+	cfg.FeatureDim = 1024
+	cfg.Sampler = "uncertain"
+	cfg.WrapModel = func(m llm.ChatModel) llm.ChatModel { return uselessModel{inner: m} }
+	reg := obs.NewRegistry()
+	ctx := obs.NewContext(context.Background(), obs.New(nil, reg, nil))
+	res, err := RunContext(ctx, d, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The first offer is accepted (inactive on validation = no evidence
+	// against it; nothing yet to be redundant with), every repeat is a
+	// duplicate — but the lone LF covers nothing, so the refresh cannot
+	// train an interim model.
+	if res.NumLFs != 1 {
+		t.Fatalf("NumLFs = %d, want 1", res.NumLFs)
+	}
+	if res.TotalCoverage != 0 {
+		t.Fatalf("TotalCoverage = %v, want 0", res.TotalCoverage)
+	}
+	// 10 iterations at the default refresh cadence of 5: two refresh
+	// points, both failing with "no covered instances yet".
+	if got := reg.CounterValue("eval_interim_failures_total"); got != 2 {
+		t.Errorf("eval_interim_failures_total = %v, want 2", got)
+	}
+}
+
+// TestRunSEUParallelismMatchesSequential extends the determinism hard
+// constraint to the memoized SEU scoring engine: a full SEU run with
+// Parallelism: N must be bit-identical to Parallelism: 1, including the
+// sampled instances behind the LF set.
+func TestRunSEUParallelismMatchesSequential(t *testing.T) {
+	run := func(parallelism int) *Result {
+		return smallRun(t, "youtube", func(c *Config) {
+			c.Sampler = "seu"
+			c.Parallelism = parallelism
+		})
+	}
+	seq := run(1)
+	for _, p := range []int{2, 4} {
+		par := run(p)
+		if seq.NumLFs != par.NumLFs ||
+			seq.EndMetric != par.EndMetric ||
+			seq.LFCoverage != par.LFCoverage ||
+			seq.TotalCoverage != par.TotalCoverage ||
+			seq.TotalTokens() != par.TotalTokens() {
+			t.Fatalf("Parallelism %d diverged from sequential:\nseq: %+v\npar: %+v", p, seq, par)
+		}
+		for i := range seq.LFs {
+			if seq.LFs[i].Name() != par.LFs[i].Name() {
+				t.Fatalf("Parallelism %d: LF %d is %q, sequential %q",
+					p, i, par.LFs[i].Name(), seq.LFs[i].Name())
+			}
+		}
 	}
 }
 

@@ -79,6 +79,16 @@ func (e *Example) EnsureTokens() {
 	}
 }
 
+// PreTokenize populates every example's token cache up front. Callers
+// that will read Tokens from multiple goroutines must run this first:
+// EnsureTokens lazily mutates the example, so concurrent first reads
+// would race. A fully tokenized split makes later passes read-only.
+func PreTokenize(split []*Example) {
+	for _, e := range split {
+		e.EnsureTokens()
+	}
+}
+
 // Dataset bundles the three splits and task metadata.
 type Dataset struct {
 	// Name is the registry key, e.g. "youtube".

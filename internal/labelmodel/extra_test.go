@@ -151,6 +151,39 @@ func TestWeightedVoteFromValidation(t *testing.T) {
 	}
 }
 
+// TestWeightedVoteFromValidationIndexed: fitting against a caller-shared
+// index must produce exactly the accuracies of the index-building
+// constructor — the index is a pure accelerator, reused across fits.
+func TestWeightedVoteFromValidationIndexed(t *testing.T) {
+	valid := []*dataset.Example{}
+	for i, tc := range []struct {
+		text  string
+		label int
+	}{
+		{"free cash now", 1},
+		{"free cash offer", 1},
+		{"free hugs", 0},
+		{"nice melody", 0},
+	} {
+		e := &dataset.Example{ID: i, Text: tc.text, Label: tc.label, E1Pos: -1, E2Pos: -1}
+		e.EnsureTokens()
+		valid = append(valid, e)
+	}
+	free, _ := lf.NewKeywordLF("free", 1)
+	melody, _ := lf.NewKeywordLF("melody", 0)
+	lfs := []lf.LabelFunction{free, melody}
+	want := NewWeightedVoteFromValidation(valid, lfs)
+	ix := lf.NewIndex(valid)
+	for fit := 0; fit < 3; fit++ { // the shared index serves repeat fits
+		got := NewWeightedVoteFromValidationIndexed(ix, lfs)
+		for j := range want.Accuracies {
+			if got.Accuracies[j] != want.Accuracies[j] {
+				t.Fatalf("fit %d: accuracy[%d] = %v, want %v", fit, j, got.Accuracies[j], want.Accuracies[j])
+			}
+		}
+	}
+}
+
 // newTestRNG avoids importing math/rand in multiple test files directly.
 func newTestRNG(seed int64) *testRNG {
 	return &testRNG{state: uint64(seed)*2862933555777941757 + 3037000493}

@@ -30,10 +30,20 @@ func NewWeightedVote(accuracies []float64) *WeightedVote {
 
 // NewWeightedVoteFromValidation measures each LF's accuracy on a labeled
 // validation split (LFs inactive there get the neutral estimate 0.5 —
-// zero weight).
+// zero weight). It builds a throwaway inverted index over the split;
+// callers fitting repeatedly against the same split (the pipeline's
+// per-iteration interim refreshes) should share one index via
+// NewWeightedVoteFromValidationIndexed instead.
 func NewWeightedVoteFromValidation(valid []*dataset.Example, lfs []lf.LabelFunction) *WeightedVote {
-	ix := lf.NewIndex(valid)
-	gold := dataset.Labels(valid)
+	return NewWeightedVoteFromValidationIndexed(lf.NewIndex(valid), lfs)
+}
+
+// NewWeightedVoteFromValidationIndexed is NewWeightedVoteFromValidation
+// over a prebuilt validation index, the way lf.NewFilterChainIndexed
+// reuses shared indices: the index is immutable, so one build serves
+// every fit of a run.
+func NewWeightedVoteFromValidationIndexed(ix *lf.Index, lfs []lf.LabelFunction) *WeightedVote {
+	gold := dataset.Labels(ix.Split())
 	vm := lf.BuildVoteMatrix(ix, lfs)
 	accs := make([]float64, len(lfs))
 	for j := range lfs {

@@ -50,8 +50,8 @@ func (ix *Index) DocFreq(token string) int { return len(ix.postings[token]) }
 
 // Docs returns the ascending document ids whose tokens contain the
 // canonical phrase. Single-word phrases come straight from the posting
-// list; multi-word phrases seed from the rarest word and verify
-// contiguity per candidate.
+// list; multi-word phrases intersect the words' posting lists and
+// verify contiguity on the survivors.
 func (ix *Index) Docs(phrase string) []int32 {
 	words := splitPhrase(phrase)
 	switch len(words) {
@@ -60,19 +60,8 @@ func (ix *Index) Docs(phrase string) []int32 {
 	case 1:
 		return ix.postings[words[0]]
 	}
-	seed := words[0]
-	for _, w := range words[1:] {
-		if len(ix.postings[w]) < len(ix.postings[seed]) {
-			seed = w
-		}
-	}
-	candidates := ix.postings[seed]
 	var out []int32
-	for _, id := range candidates {
-		if textproc.ContainsPhrase(ix.split[id].Tokens, phrase) {
-			out = append(out, id)
-		}
-	}
+	ix.forEachPhraseDoc(words, func(id int32) { out = append(out, id) })
 	return out
 }
 
@@ -95,6 +84,91 @@ func splitPhrase(phrase string) []string {
 		out = append(out, phrase[start:])
 	}
 	return out
+}
+
+// CountDocs returns how many documents contain the canonical phrase —
+// len(Docs(phrase)) without materializing the id slice for multi-word
+// phrases. Hot callers that only need coverage (the SEU keyword-utility
+// cache) use this to stay allocation-free.
+func (ix *Index) CountDocs(phrase string) int {
+	words := splitPhrase(phrase)
+	switch len(words) {
+	case 0:
+		return 0
+	case 1:
+		return len(ix.postings[words[0]])
+	}
+	n := 0
+	ix.forEachPhraseDoc(words, func(int32) { n++ })
+	return n
+}
+
+// ForEachDoc calls fn for every document containing the canonical
+// phrase, in ascending id order, without allocating an id slice.
+func (ix *Index) ForEachDoc(phrase string, fn func(id int32)) {
+	words := splitPhrase(phrase)
+	switch len(words) {
+	case 0:
+		return
+	case 1:
+		for _, id := range ix.postings[words[0]] {
+			fn(id)
+		}
+		return
+	}
+	ix.forEachPhraseDoc(words, fn)
+}
+
+// forEachPhraseDoc walks the documents containing a multi-word phrase in
+// ascending id order. A document can only contain the phrase if it
+// contains every word, so candidates are the intersection of the words'
+// posting lists — seeded from the rarest word, with membership in each
+// other list checked by binary search — and only the intersection is
+// scanned for contiguity. The per-document token scan uses the pre-split
+// words (textproc.ContainsTokens), so nothing re-splits the phrase in
+// the loop. Typically the intersection is orders of magnitude smaller
+// than any single posting list, which is what makes per-keyword
+// coverage/precision queries (the SEU utility cache) cheap.
+func (ix *Index) forEachPhraseDoc(words []string, fn func(id int32)) {
+	seed, others := ix.postings[words[0]], make([][]int32, 0, len(words)-1)
+	for _, w := range words[1:] {
+		list := ix.postings[w]
+		if len(list) == 0 {
+			return
+		}
+		if len(list) < len(seed) {
+			seed, list = list, seed
+		}
+		others = append(others, list)
+	}
+	if len(seed) == 0 {
+		return
+	}
+candidates:
+	for _, id := range seed {
+		for _, list := range others {
+			if !containsID(list, id) {
+				continue candidates
+			}
+		}
+		if textproc.ContainsTokens(ix.split[id].Tokens, words) {
+			fn(id)
+		}
+	}
+}
+
+// containsID reports whether the ascending posting list contains id.
+func containsID(list []int32, id int32) bool {
+	lo, hi := 0, len(list)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if list[mid] < id {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo < len(list) && list[lo] == id
 }
 
 // ActiveDocs returns the ascending document ids on which the LF does not

@@ -145,6 +145,35 @@ func TestIndexDocs(t *testing.T) {
 	}
 }
 
+// TestIndexCountDocsMatchesDocs: the allocation-free accessors must
+// agree with Docs on count, membership and order for single- and
+// multi-word phrases, including absent and empty ones.
+func TestIndexCountDocsMatchesDocs(t *testing.T) {
+	split := []*dataset.Example{
+		ex(0, "check out my channel"),
+		ex(1, "great song love it"),
+		ex(2, "check the description out"),
+		ex(3, "check out these covers"),
+	}
+	ix := NewIndex(split)
+	for _, phrase := range []string{"check", "check out", "out", "absent phrase", "", "great song love"} {
+		want := ix.Docs(phrase)
+		if got := ix.CountDocs(phrase); got != len(want) {
+			t.Errorf("CountDocs(%q) = %d, want %d", phrase, got, len(want))
+		}
+		var walked []int32
+		ix.ForEachDoc(phrase, func(id int32) { walked = append(walked, id) })
+		if len(walked) != len(want) {
+			t.Fatalf("ForEachDoc(%q) visited %v, want %v", phrase, walked, want)
+		}
+		for i := range want {
+			if walked[i] != want[i] {
+				t.Errorf("ForEachDoc(%q)[%d] = %d, want %d", phrase, i, walked[i], want[i])
+			}
+		}
+	}
+}
+
 func TestIndexMatchesBruteForceProperty(t *testing.T) {
 	rng := rand.New(rand.NewSource(3))
 	vocab := []string{"spam", "free", "win", "song", "love", "channel", "click", "video"}

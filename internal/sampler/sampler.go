@@ -13,6 +13,7 @@ import (
 	"datasculpt/internal/dataset"
 	"datasculpt/internal/lf"
 	"datasculpt/internal/metrics"
+	"datasculpt/internal/obs"
 	"datasculpt/internal/textproc"
 )
 
@@ -34,6 +35,28 @@ type State struct {
 	// TrainIndex and ValidIndex are shared inverted indices over the
 	// respective splits (SEU uses them for coverage/accuracy estimates).
 	TrainIndex, ValidIndex *lf.Index
+	// Workers bounds the goroutines scoring-heavy samplers may fan out
+	// to (<=1 means sequential). Selection results are bit-identical at
+	// every setting — parallel sections only write per-index state.
+	Workers int
+	// Metrics receives sampler telemetry (sampler_seu_*); nil disables
+	// it for free.
+	Metrics *obs.Registry
+
+	// validGold caches the validation gold labels, which are immutable
+	// for the life of the run.
+	validGold []int
+}
+
+// ValidGold returns the validation split's gold labels, materialized
+// once per State. SEU's keyword-accuracy estimates read them for every
+// keyword; re-extracting them per candidate was a dominant allocation
+// source.
+func (s *State) ValidGold() []int {
+	if s.validGold == nil {
+		s.validGold = dataset.Labels(s.ValidIndex.Split())
+	}
+	return s.validGold
 }
 
 // unusedIDs lists the selectable instance ids.
@@ -125,6 +148,12 @@ type SEU struct {
 	MaxKeywords int
 	// Tau is the softmax sharpness of the user model (default 8).
 	Tau float64
+
+	// eng is the run-lifetime scoring engine (keyword-utility cache and
+	// per-instance score memo). It is built lazily on first Next and
+	// rebuilt whenever the State's indices change identity, so a SEU
+	// value reused across runs stays correct.
+	eng *seuEngine
 }
 
 // NewSEU constructs an SEU sampler with default parameters.
@@ -133,7 +162,14 @@ func NewSEU() *SEU { return &SEU{Candidates: 150, MaxKeywords: 25, Tau: 8} }
 // Name implements Sampler.
 func (*SEU) Name() string { return "seu" }
 
-// Next implements Sampler.
+// Next implements Sampler. Scoring goes through the memoized engine
+// (see seu_engine.go): every candidate's expected utility is fully
+// determined by the immutable indices and gold labels, so an instance
+// is scored at most once per run and repeat encounters are cache hits.
+// The rng is consumed exactly as before — one Shuffle when the pool
+// exceeds Candidates — so sampled indices are bit-identical to the
+// naive scorer's; the only divergence is the exhausted-scoring
+// fallback below.
 func (u *SEU) Next(s *State, rng *rand.Rand) int {
 	ids := s.unusedIDs()
 	if len(ids) == 0 {
@@ -147,16 +183,26 @@ func (u *SEU) Next(s *State, rng *rand.Rand) int {
 		rng.Shuffle(len(ids), func(i, j int) { ids[i], ids[j] = ids[j], ids[i] })
 		ids = ids[:cand]
 	}
-	best, bestScore := ids[0], math.Inf(-1)
+	eng := u.engine(s)
+	eng.scoreBatch(s, ids)
+	best, bestScore := -1, math.Inf(-1)
 	for _, i := range ids {
-		if score := u.instanceScore(s, s.Dataset.Train[i]); score > bestScore {
+		if score := eng.scores[i]; score > bestScore {
 			best, bestScore = i, score
 		}
+	}
+	if best < 0 {
+		// Every candidate yielded no scorable keyword (-Inf). Fall back
+		// to an explicit rng draw like Random/Uncertain/QBC/CoreSet do,
+		// instead of silently returning the first shuffled id.
+		return ids[rng.Intn(len(ids))]
 	}
 	return best
 }
 
-// instanceScore computes the expected LF utility of one instance.
+// instanceScore computes the expected LF utility of one instance from
+// scratch. It is the naive reference implementation the engine's
+// property tests compare against; Next never calls it.
 func (u *SEU) instanceScore(s *State, e *dataset.Example) float64 {
 	e.EnsureTokens()
 	keywords := textproc.CandidateKeywords(e.Tokens)

@@ -101,6 +101,14 @@ func splitSpace(phrase string) []string {
 	return out
 }
 
+// ContainsTokens is ContainsPhrase with the phrase already split into
+// words. Callers checking one phrase against many token sequences (the
+// inverted index's posting-list verification) split once and use this,
+// instead of paying a phrase re-split per document.
+func ContainsTokens(tokens, want []string) bool {
+	return containsSeq(tokens, want)
+}
+
 func containsSeq(tokens, want []string) bool {
 	if len(want) == 0 || len(tokens) < len(want) {
 		return false
