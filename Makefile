@@ -10,9 +10,9 @@ GO ?= go
 # pass.
 COVERAGE_FLOOR = 82.8
 
-.PHONY: ci vet build test race chaos stress fuzz-smoke cover-check metrics-lint bench bench-grid bench-json bench-smoke bench-seu-smoke bench-serve bench-serve-smoke clean
+.PHONY: ci vet build test race chaos stress fuzz-smoke cover-check metrics-lint bench bench-grid bench-json bench-smoke bench-seu-smoke bench-serve bench-serve-smoke bench-scale bench-scale-smoke clean
 
-ci: vet build test race chaos stress fuzz-smoke cover-check metrics-lint bench-smoke bench-seu-smoke bench-serve-smoke
+ci: vet build test race chaos stress fuzz-smoke cover-check metrics-lint bench-smoke bench-seu-smoke bench-serve-smoke bench-scale-smoke
 
 vet:
 	$(GO) vet ./...
@@ -114,6 +114,23 @@ bench-serve-smoke:
 		-out /tmp/datasculpt-serve-smoke-report.json
 	$(GO) run ./cmd/loadgen -render /tmp/datasculpt-serve-smoke-report.json
 	$(GO) run ./cmd/loadgen -render BENCH_serve.json
+
+# out-of-core scale benchmarks: 100x Youtube (158,600 train documents)
+# through exact vs LSH KATE retrieval (per-query latency + recall@10),
+# materialized vs streamed JSONL ingestion (peak heap), and the resident
+# vs spilling vote matrix. The committed BENCH_scale.json comes from this
+# run; the render step also enforces the >=5x / recall>=0.9 floors.
+bench-scale:
+	$(GO) test -bench=Scale -benchtime=1x -benchmem -run XXX . | tee BENCH_scale.json
+	$(GO) run ./cmd/benchtab -render-scale BENCH_scale.json
+
+# the scale smoke gate (wired into ci): asserts the ANN retrieval and
+# vote-spill paths actually execute, that a spill-enabled pipeline run
+# stays bit-identical to the resident run, and that the committed
+# BENCH_scale.json still renders and passes its floors
+bench-scale-smoke:
+	$(GO) test -run TestScaleSmoke -count=1 .
+	$(GO) run ./cmd/benchtab -render-scale BENCH_scale.json
 
 clean:
 	$(GO) clean ./...

@@ -1,0 +1,143 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// This file renders BENCH_scale.json — the `make bench-scale` output in
+// standard Go benchmark text format — as the out-of-core scaling
+// summary: exact vs LSH KATE retrieval, materialized vs streamed
+// ingestion, and the resident vs spilling vote matrix. Rendering also
+// validates the acceptance floor of the scale work (>=5x retrieval
+// speedup at recall@10 >= 0.9), so the ci smoke target fails if a
+// regressed benchmark file is ever committed.
+
+// scaleSpeedupFloor and scaleRecallFloor are the committed acceptance
+// thresholds for the ANN retrieval path at 100x scale.
+const (
+	scaleSpeedupFloor = 5.0
+	scaleRecallFloor  = 0.9
+)
+
+// benchLine is one parsed Go benchmark result: the measured metrics
+// keyed by unit (ns/op, ns/query, peak-MB, recall@10, spills, ...).
+type benchLine map[string]float64
+
+// parseGoBench extracts Benchmark* lines from a Go benchmark text file,
+// keyed by benchmark name with any -GOMAXPROCS suffix stripped.
+func parseGoBench(path string) (map[string]benchLine, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[string]benchLine)
+	for _, line := range strings.Split(string(data), "\n") {
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		f := strings.Fields(line)
+		if len(f) < 4 {
+			continue
+		}
+		name := f[0]
+		if i := strings.LastIndex(name, "-"); i > 0 {
+			if _, err := strconv.Atoi(name[i+1:]); err == nil {
+				name = name[:i]
+			}
+		}
+		m := make(benchLine)
+		for i := 2; i+1 < len(f); i += 2 {
+			v, err := strconv.ParseFloat(f[i], 64)
+			if err != nil {
+				continue
+			}
+			m[f[i+1]] = v
+		}
+		out[name] = m
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("%s: no benchmark lines found", path)
+	}
+	return out, nil
+}
+
+// metric fetches one unit of one benchmark, erroring on absence so a
+// truncated BENCH_scale.json fails loudly instead of rendering zeros.
+func metric(benches map[string]benchLine, name, unit string) (float64, error) {
+	b, ok := benches[name]
+	if !ok {
+		return 0, fmt.Errorf("benchmark %s missing", name)
+	}
+	v, ok := b[unit]
+	if !ok {
+		return 0, fmt.Errorf("benchmark %s has no %q metric", name, unit)
+	}
+	return v, nil
+}
+
+// renderScale renders the scale-benchmark file and enforces the
+// retrieval acceptance floor.
+func renderScale(path string) (string, error) {
+	benches, err := parseGoBench(path)
+	if err != nil {
+		return "", err
+	}
+	exactNS, err := metric(benches, "BenchmarkScaleKATEExact", "ns/query")
+	if err != nil {
+		return "", err
+	}
+	annNS, err := metric(benches, "BenchmarkScaleKATEANN", "ns/query")
+	if err != nil {
+		return "", err
+	}
+	recall, err := metric(benches, "BenchmarkScaleKATEANN", "recall@10")
+	if err != nil {
+		return "", err
+	}
+	matMB, err := metric(benches, "BenchmarkScaleIngestMaterialized", "peak-MB")
+	if err != nil {
+		return "", err
+	}
+	strMB, err := metric(benches, "BenchmarkScaleIngestStreamed", "peak-MB")
+	if err != nil {
+		return "", err
+	}
+	resMB, err := metric(benches, "BenchmarkScaleVoteMatrixResident", "peak-MB")
+	if err != nil {
+		return "", err
+	}
+	spillMB, err := metric(benches, "BenchmarkScaleVoteMatrixSpill", "peak-MB")
+	if err != nil {
+		return "", err
+	}
+	spills, err := metric(benches, "BenchmarkScaleVoteMatrixSpill", "spills")
+	if err != nil {
+		return "", err
+	}
+
+	speedup := exactNS / annNS
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Out-of-core scale benchmarks (%s)\n", path)
+	fmt.Fprintf(&sb, "100x Youtube: 158,600 train / 12,000 validation documents\n\n")
+	fmt.Fprintf(&sb, "  KATE retrieval (12,000-doc pool, k=10)\n")
+	fmt.Fprintf(&sb, "    exact cosine scan   %8.2f ms/query\n", exactNS/1e6)
+	fmt.Fprintf(&sb, "    LSH + exact rerank  %8.2f ms/query   %.1fx speedup, recall@10 %.3f\n",
+		annNS/1e6, speedup, recall)
+	fmt.Fprintf(&sb, "  train-split ingestion (JSONL, chunk 1024)\n")
+	fmt.Fprintf(&sb, "    materialized        %8.1f peak MB\n", matMB)
+	fmt.Fprintf(&sb, "    streamed two-pass   %8.1f peak MB   %.1fx lower\n", strMB, matMB/strMB)
+	fmt.Fprintf(&sb, "  vote matrix (158,600 x 120)\n")
+	fmt.Fprintf(&sb, "    fully resident      %8.1f peak MB\n", resMB)
+	fmt.Fprintf(&sb, "    1 MB spill budget   %8.1f peak MB   %.0f column evictions\n", spillMB, spills)
+
+	if speedup < scaleSpeedupFloor {
+		return "", fmt.Errorf("%s: KATE ANN speedup %.2fx is below the %.0fx floor", path, speedup, scaleSpeedupFloor)
+	}
+	if recall < scaleRecallFloor {
+		return "", fmt.Errorf("%s: KATE ANN recall@10 %.3f is below the %.2f floor", path, recall, scaleRecallFloor)
+	}
+	return sb.String(), nil
+}

@@ -37,7 +37,10 @@ func main() {
 	labelModel := flag.String("labelmodel", "metal", "label model: metal, majority, triplet")
 	iterations := flag.Int("iterations", 50, "query iterations")
 	seeds := flag.Int("seeds", 1, "number of seeds to average")
-	scale := flag.Float64("scale", 1.0, "dataset scale in (0,1]")
+	scale := flag.Float64("scale", 1.0, "dataset scale: (0,1) shrinks, 1 is Table-1 size, >1 grows every split proportionally")
+	annThreshold := flag.Int("ann-threshold", 0, "KATE pool size at which retrieval switches to the LSH index (0 = default 16384, negative = always exact)")
+	annMultiplier := flag.Int("ann-multiplier", 0, "LSH shortlist size as a multiple of -shots (0 = default 16)")
+	voteSpillMB := flag.Int("vote-spill-mb", 0, "resident-memory budget for the train vote matrix in MB; cold columns spill to a temp file (0 = fully resident)")
 	noAccuracy := flag.Bool("no-accuracy-filter", false, "disable the accuracy filter")
 	noRedundancy := flag.Bool("no-redundancy-filter", false, "disable the redundancy filter")
 	showLFs := flag.Bool("lfs", false, "print the generated LF set with per-LF statistics")
@@ -74,8 +77,9 @@ func main() {
 		scale: *scale, noAccuracy: *noAccuracy, noRedundancy: *noRedundancy,
 		showLFs: *showLFs, analyze: *analyze, saveLFs: *saveLFs, saveBundle: *saveBundle, revise: *revise,
 		checkpoint: *checkpoint, resume: *resume, maxFailedIters: *maxFailedIters,
-		parallelism: *parallelism,
-		obs:         o,
+		parallelism:  *parallelism,
+		annThreshold: *annThreshold, annMultiplier: *annMultiplier, voteSpillMB: *voteSpillMB,
+		obs: o,
 	})
 	// The cleanup writes -metrics-out and flushes the trace sink, so it
 	// must run (and be checked) even when the run itself failed.
@@ -99,6 +103,7 @@ type runOptions struct {
 	checkpoint, resume                           string
 	maxFailedIters                               int
 	parallelism                                  int
+	annThreshold, annMultiplier, voteSpillMB     int
 	obs                                          *obs.Obs
 }
 
@@ -178,6 +183,9 @@ func run(ctx context.Context, o runOptions) error {
 			ReviseRejected:      o.revise,
 			MaxFailedIterations: o.maxFailedIters,
 			Parallelism:         o.parallelism,
+			ANNThreshold:        o.annThreshold,
+			ANNMultiplier:       o.annMultiplier,
+			VoteSpillMB:         o.voteSpillMB,
 			Seed:                int64(100*s + 1),
 		}
 		// Same endpoint the pipeline would build itself, with a response

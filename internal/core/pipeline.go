@@ -51,12 +51,12 @@ func newPipelineMetrics(reg *obs.Registry) pipelineMetrics {
 // Like pipelineMetrics, every handle is a free no-op under a nil
 // registry.
 type evalMetrics struct {
-	colsBuilt   *obs.Counter
-	colsReused  *obs.Counter
-	vmRebuilds  *obs.Counter
-	lmFits      *obs.Counter
-	warmStarts  *obs.Counter
-	emIters     *obs.Histogram
+	colsBuilt       *obs.Counter
+	colsReused      *obs.Counter
+	vmRebuilds      *obs.Counter
+	lmFits          *obs.Counter
+	warmStarts      *obs.Counter
+	emIters         *obs.Histogram
 	interimHits     *obs.Counter
 	interimFailures *obs.Counter
 	trainProba      *obs.Histogram
@@ -167,7 +167,13 @@ func RunContext(ctx context.Context, d *dataset.Dataset, cfg Config) (res *Resul
 
 	var selector prompt.ExampleSelector
 	if cfg.usesKATE() {
-		selector, err = prompt.NewKATE(d, feat)
+		selector, err = prompt.NewKATEWithOptions(d, feat, prompt.KATEOptions{
+			ANNThreshold:        cfg.ANNThreshold,
+			CandidateMultiplier: cfg.ANNMultiplier,
+			Seed:                cfg.Seed + 31,
+			Workers:             cfg.Parallelism,
+			Metrics:             o.Metrics,
+		})
 	} else {
 		selector, err = prompt.NewClassBalanced(d, cfg.Shots, cfg.Seed+7)
 	}
@@ -197,8 +203,9 @@ func RunContext(ctx context.Context, d *dataset.Dataset, cfg Config) (res *Resul
 
 	ev := &evaluator{
 		d: d, feat: feat, trainIx: trainIx, validIx: validIx, cfg: cfg,
-		workers: cfg.Parallelism, em: newEvalMetrics(o.Metrics),
+		workers: cfg.Parallelism, em: newEvalMetrics(o.Metrics), metrics: o.Metrics,
 	}
+	defer ev.close()
 	if cfg.Sampler == "coreset" {
 		state.TrainVecs = ev.trainVectors()
 	}
@@ -399,6 +406,7 @@ func EvaluateLFSet(d *dataset.Dataset, lfs []lf.LabelFunction, cfg Config) (*Res
 		d: d, feat: feat, trainIx: lf.NewIndex(d.Train), cfg: cfg,
 		workers: cfg.Parallelism, em: newEvalMetrics(nil),
 	}
+	defer ev.close()
 	res, err := ev.evaluate(lfs)
 	if err != nil {
 		return nil, err
@@ -424,6 +432,9 @@ type evaluator struct {
 	cfg     Config
 	workers int
 	em      evalMetrics
+	// metrics is the run's registry (nil outside instrumented runs); the
+	// spilling vote matrix streams eval_votematrix_spill_* into it.
+	metrics *obs.Registry
 
 	trainVecs []*textproc.SparseVector // lazily built
 
@@ -449,7 +460,7 @@ type evaluator struct {
 // full rebuild, so correctness never depends on the invariant holding.
 func (ev *evaluator) voteMatrix(lfs []lf.LabelFunction) *lf.VoteMatrix {
 	if ev.vm == nil {
-		ev.vm = lf.NewVoteMatrix(ev.trainIx.Size())
+		ev.vm = ev.newVoteMatrix()
 	}
 	reused := ev.vm.NumLFs()
 	prefixOK := len(lfs) >= reused
@@ -464,7 +475,9 @@ func (ev *evaluator) voteMatrix(lfs []lf.LabelFunction) *lf.VoteMatrix {
 	}
 	if !prefixOK {
 		ev.em.vmRebuilds.Inc()
-		ev.vm = lf.BuildVoteMatrixParallel(ev.trainIx, lfs, ev.workers)
+		ev.vm.Close()
+		ev.vm = ev.newVoteMatrix()
+		ev.vm.AppendLFs(ev.trainIx, lfs, ev.workers)
 		ev.em.colsBuilt.AddInt(len(lfs))
 		ev.invalidateInterim()
 		return ev.vm
@@ -474,6 +487,24 @@ func (ev *evaluator) voteMatrix(lfs []lf.LabelFunction) *lf.VoteMatrix {
 	}
 	ev.em.colsReused.AddInt(reused)
 	return ev.vm
+}
+
+// newVoteMatrix creates an empty train-split matrix, memory-bounded when
+// Config.VoteSpillMB is set. A spill-file creation failure falls back to
+// the fully resident matrix — correctness never depends on the temp dir.
+func (ev *evaluator) newVoteMatrix() *lf.VoteMatrix {
+	vm := lf.NewVoteMatrix(ev.trainIx.Size())
+	if mb := ev.cfg.VoteSpillMB; mb > 0 {
+		_ = vm.EnableSpill(int64(mb)<<20, "", ev.metrics)
+	}
+	return vm
+}
+
+// close releases the vote matrix's spill file, if any.
+func (ev *evaluator) close() {
+	if ev.vm != nil {
+		ev.vm.Close()
+	}
 }
 
 func (ev *evaluator) invalidateInterim() {

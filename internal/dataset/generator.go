@@ -75,15 +75,17 @@ type Spec struct {
 	DistractorRate float64
 }
 
-// Generate builds the dataset with the given seed. scale in (0,1] shrinks
-// every split proportionally (floored at small minimums) so tests and
-// examples can run quickly; scale 1 reproduces the paper's Table 1 sizes.
+// Generate builds the dataset with the given seed. scale resizes every
+// split proportionally: values in (0,1) shrink them (floored at small
+// minimums) so tests and examples can run quickly, scale 1 reproduces the
+// paper's Table 1 sizes, and scale > 1 grows the corpus for out-of-core
+// experiments (e.g. 100 yields a 100x train split from the same spec).
 func (s *Spec) Generate(seed int64, scale float64) (*Dataset, error) {
 	if err := s.validate(); err != nil {
 		return nil, err
 	}
-	if scale <= 0 || scale > 1 {
-		return nil, fmt.Errorf("spec %s: scale %v outside (0,1]", s.Name, scale)
+	if scale <= 0 {
+		return nil, fmt.Errorf("spec %s: scale %v must be positive", s.Name, scale)
 	}
 	signals := make([]KeywordSignal, 0, 256)
 	for c, cs := range s.Classes {

@@ -1,6 +1,7 @@
 package dataset
 
 import (
+	"math/rand"
 	"testing"
 	"testing/quick"
 )
@@ -52,7 +53,11 @@ func TestGeneratorInvariantsProperty(t *testing.T) {
 		}
 		return true
 	}
-	if err := quick.Check(prop, &quick.Config{MaxCount: 40}); err != nil {
+	// Fixed generation source: the "every class appears in valid" check
+	// is statistical (a ~13%-prior class misses a 25-example split ~3%
+	// of the time), so a per-run random source makes ci flaky without
+	// adding coverage.
+	if err := quick.Check(prop, &quick.Config{MaxCount: 40, Rand: rand.New(rand.NewSource(42))}); err != nil {
 		t.Error(err)
 	}
 }

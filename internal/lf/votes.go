@@ -19,14 +19,24 @@ import (
 // new columns, which is how the pipeline's evaluator amortizes matrix
 // construction across iterations (the LF set only ever grows during a
 // run).
+// With EnableSpill the matrix becomes memory-bounded: dense columns are
+// not built, sparse columns are evicted LRU to an unlinked temp file once
+// resident bytes exceed the budget, and accesses fault them back in
+// transparently (see spill.go).
 type VoteMatrix struct {
 	n, m  int
 	cols  [][]int8
 	names []string
 	// active[j] lists the ascending doc ids where cols[j] != Abstain;
-	// activeVotes[j] holds the aligned votes.
+	// activeVotes[j] holds the aligned votes. In spill mode an evicted
+	// column has active[j] == nil and lives in the spill file.
 	active      [][]int32
 	activeVotes [][]int8
+	// counts[j] is len(active[j]) recorded at append time, valid even
+	// while the column is evicted.
+	counts []int32
+
+	spill *spillState // nil unless EnableSpill was called
 }
 
 // NewVoteMatrix returns an empty (zero-LF) matrix over n examples; grow
@@ -67,15 +77,23 @@ func (vm *VoteMatrix) AppendLFs(ix *Index, lfs []LabelFunction, workers int) int
 	vm.names = append(vm.names, make([]string, len(lfs))...)
 	vm.active = append(vm.active, make([][]int32, len(lfs))...)
 	vm.activeVotes = append(vm.activeVotes, make([][]int8, len(lfs))...)
+	vm.counts = append(vm.counts, make([]int32, len(lfs))...)
 	split := ix.Split()
+	spilling := vm.spill != nil
 	// Dynamic scheduling with a small grain: column costs are wildly
 	// uneven (a rare keyword touches a handful of postings, a generic
 	// one thousands). Each index writes only its own column slots.
 	par.For(workers, len(lfs), 2, func(t int) {
 		f := lfs[t]
-		col := make([]int8, vm.n)
-		for i := range col {
-			col[i] = Abstain
+		// In spill mode the dense column is never built: it costs n bytes
+		// per LF regardless of coverage, which is exactly the memory the
+		// budget exists to bound. Random access degrades to binary search.
+		var col []int8
+		if !spilling {
+			col = make([]int8, vm.n)
+			for i := range col {
+				col[i] = Abstain
+			}
 		}
 		// ActiveDocs may return a posting list owned by the index, so the
 		// kept ids are copied rather than filtered in place.
@@ -87,7 +105,9 @@ func (vm *VoteMatrix) AppendLFs(ix *Index, lfs []LabelFunction, workers int) int
 			if v == Abstain {
 				continue // defensive: ActiveDocs should pre-filter
 			}
-			col[id] = v
+			if col != nil {
+				col[id] = v
+			}
 			kept = append(kept, id)
 			votes = append(votes, v)
 		}
@@ -96,8 +116,12 @@ func (vm *VoteMatrix) AppendLFs(ix *Index, lfs []LabelFunction, workers int) int
 		vm.names[j] = f.Name()
 		vm.active[j] = kept
 		vm.activeVotes[j] = votes
+		vm.counts[j] = int32(len(kept))
 	})
 	vm.m += len(lfs)
+	if spilling {
+		vm.spillAdmitNew(base)
+	}
 	return len(lfs)
 }
 
@@ -108,7 +132,13 @@ func (vm *VoteMatrix) NumExamples() int { return vm.n }
 func (vm *VoteMatrix) NumLFs() int { return vm.m }
 
 // Vote returns the vote of LF j on example i (Abstain when inactive).
-func (vm *VoteMatrix) Vote(i, j int) int { return int(vm.cols[j][i]) }
+// In spill mode this is a binary search over the sparse column.
+func (vm *VoteMatrix) Vote(i, j int) int {
+	if vm.spill != nil {
+		return vm.sparseVote(i, j)
+	}
+	return int(vm.cols[j][i])
+}
 
 // Row copies example i's votes into dst (length m) and returns it;
 // a nil dst allocates.
@@ -117,16 +147,18 @@ func (vm *VoteMatrix) Row(i int, dst []int) []int {
 		dst = make([]int, vm.m)
 	}
 	for j := 0; j < vm.m; j++ {
-		dst[j] = int(vm.cols[j][i])
+		dst[j] = vm.Vote(i, j)
 	}
 	return dst
 }
 
 // Active returns LF j's sparse column: the ascending document ids it
 // votes on and the aligned votes (shared storage; callers must not
-// mutate). This is the O(active) view the label models iterate.
+// mutate). This is the O(active) view the label models iterate. In spill
+// mode an evicted column is faulted back in transparently; the returned
+// slices stay valid (immutable) even if the column is evicted again.
 func (vm *VoteMatrix) Active(j int) (ids []int32, votes []int8) {
-	return vm.active[j], vm.activeVotes[j]
+	return vm.activeCol(j)
 }
 
 // Coverage returns the fraction of examples on which LF j is active —
@@ -135,7 +167,7 @@ func (vm *VoteMatrix) Coverage(j int) float64 {
 	if vm.n == 0 {
 		return 0
 	}
-	return float64(len(vm.active[j])) / float64(vm.n)
+	return float64(vm.activeLen(j)) / float64(vm.n)
 }
 
 // Stats is the single-pass summary of a vote matrix: the Table 2
@@ -176,14 +208,15 @@ func (vm *VoteMatrix) ComputeStats(gold []int, workers int) Stats {
 	perLF := make([]lfStat, vm.m)
 	par.Chunks(workers, vm.m, func(lo, hi int) {
 		for j := lo; j < hi; j++ {
-			st := lfStat{active: len(vm.active[j])}
+			st := lfStat{active: vm.activeLen(j)}
 			if gold != nil {
-				for t, id := range vm.active[j] {
+				ids, votes := vm.activeCol(j)
+				for t, id := range ids {
 					if gold[id] == dataset.NoLabel {
 						continue
 					}
 					st.graded++
-					if int(vm.activeVotes[j][t]) == gold[id] {
+					if int(votes[t]) == gold[id] {
 						st.correct++
 					}
 				}
@@ -201,7 +234,8 @@ func (vm *VoteMatrix) ComputeStats(gold []int, workers int) Stats {
 			accSum += float64(st.correct) / float64(st.graded)
 			graded++
 		}
-		for _, id := range vm.active[j] {
+		ids, _ := vm.activeCol(j)
+		for _, id := range ids {
 			covered[id] = true
 		}
 	}
@@ -233,7 +267,8 @@ func (vm *VoteMatrix) MeanCoverage() float64 {
 func (vm *VoteMatrix) Covered() []bool {
 	out := make([]bool, vm.n)
 	for j := 0; j < vm.m; j++ {
-		for _, id := range vm.active[j] {
+		ids, _ := vm.activeCol(j)
+		for _, id := range ids {
 			out[id] = true
 		}
 	}
@@ -257,12 +292,13 @@ func (vm *VoteMatrix) LFAccuracy(j int, gold []int) (acc float64, active int) {
 		panic(fmt.Sprintf("lf: gold length %d != examples %d", len(gold), vm.n))
 	}
 	correct := 0
-	for t, id := range vm.active[j] {
+	ids, votes := vm.activeCol(j)
+	for t, id := range ids {
 		if gold[id] == dataset.NoLabel {
 			continue
 		}
 		active++
-		if int(vm.activeVotes[j][t]) == gold[id] {
+		if int(votes[t]) == gold[id] {
 			correct++
 		}
 	}
@@ -283,29 +319,28 @@ func (vm *VoteMatrix) MeanLFAccuracy(gold []int) (float64, bool) {
 // MajorityVotes returns, per example, the plurality class among active
 // votes (ties broken toward the lowest class), or Abstain for uncovered
 // examples. Used for quick diagnostics and the majority-vote label model.
+// The sweep is O(nnz) over the sparse columns (plus an O(n·numClasses)
+// tally), so it never touches dense storage and works in spill mode.
 func (vm *VoteMatrix) MajorityVotes(numClasses int) []int {
 	out := make([]int, vm.n)
-	counts := make([]int, numClasses)
+	counts := make([]int32, vm.n*numClasses)
+	covered := make([]bool, vm.n)
+	for j := 0; j < vm.m; j++ {
+		ids, votes := vm.activeCol(j)
+		for t, id := range ids {
+			counts[int(id)*numClasses+int(votes[t])]++
+			covered[id] = true
+		}
+	}
 	for i := 0; i < vm.n; i++ {
-		for c := range counts {
-			counts[c] = 0
-		}
-		any := false
-		for j := 0; j < vm.m; j++ {
-			v := vm.cols[j][i]
-			if v == Abstain {
-				continue
-			}
-			counts[v]++
-			any = true
-		}
-		if !any {
+		if !covered[i] {
 			out[i] = Abstain
 			continue
 		}
+		base := i * numClasses
 		best := 0
 		for c := 1; c < numClasses; c++ {
-			if counts[c] > counts[best] {
+			if counts[base+c] > counts[base+best] {
 				best = c
 			}
 		}
@@ -340,8 +375,23 @@ func Consensus(a, b []int8) float64 {
 }
 
 // Column exposes the raw votes of LF j (shared storage; callers must not
-// mutate).
-func (vm *VoteMatrix) Column(j int) []int8 { return vm.cols[j] }
+// mutate). In spill mode there is no dense storage, so the column is
+// materialized per call — an O(n) allocation; sparse consumers should
+// use Active instead.
+func (vm *VoteMatrix) Column(j int) []int8 {
+	if vm.spill == nil {
+		return vm.cols[j]
+	}
+	col := make([]int8, vm.n)
+	for i := range col {
+		col[i] = Abstain
+	}
+	ids, votes := vm.activeCol(j)
+	for t, id := range ids {
+		col[id] = votes[t]
+	}
+	return col
+}
 
 // Names returns the LF names in column order (shared storage).
 func (vm *VoteMatrix) Names() []string { return vm.names }

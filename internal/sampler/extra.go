@@ -23,17 +23,22 @@ type QBC struct{}
 // Name implements Sampler.
 func (QBC) Name() string { return "qbc" }
 
-// Next implements Sampler.
+// Next implements Sampler. Like Uncertain, the disagreement argmax
+// streams over the used-marks in ascending id order instead of
+// materializing the id set.
 func (QBC) Next(s *State, rng *rand.Rand) int {
-	ids := s.unusedIDs()
-	if len(ids) == 0 {
+	count := s.unusedCount()
+	if count == 0 {
 		return -1
 	}
 	if s.TrainProba == nil || s.LabelProba == nil {
-		return ids[rng.Intn(len(ids))]
+		return s.randomUnused(rng, count)
 	}
 	best, bestD := -1, -1.0
-	for _, i := range ids {
+	for i, used := range s.Used {
+		if used {
+			continue
+		}
 		p, q := s.TrainProba[i], s.LabelProba[i]
 		if p == nil || q == nil {
 			continue
@@ -48,7 +53,7 @@ func (QBC) Next(s *State, rng *rand.Rand) int {
 		}
 	}
 	if best < 0 {
-		return ids[rng.Intn(len(ids))]
+		return s.randomUnused(rng, count)
 	}
 	return best
 }
@@ -69,14 +74,16 @@ func NewCoreSet() *CoreSet { return &CoreSet{Candidates: 300} }
 // Name implements Sampler.
 func (*CoreSet) Name() string { return "coreset" }
 
-// Next implements Sampler.
+// Next implements Sampler. Candidate subsampling goes through
+// State.sampleUnused: legacy shuffle below the reservoir threshold
+// (bit-identical), an O(candidates)-memory reservoir above it.
 func (c *CoreSet) Next(s *State, rng *rand.Rand) int {
-	ids := s.unusedIDs()
-	if len(ids) == 0 {
+	count := s.unusedCount()
+	if count == 0 {
 		return -1
 	}
 	if s.TrainVecs == nil {
-		return ids[rng.Intn(len(ids))]
+		return s.randomUnused(rng, count)
 	}
 	var queried []*textproc.SparseVector
 	for i, used := range s.Used {
@@ -85,16 +92,13 @@ func (c *CoreSet) Next(s *State, rng *rand.Rand) int {
 		}
 	}
 	if len(queried) == 0 {
-		return ids[rng.Intn(len(ids))]
+		return s.randomUnused(rng, count)
 	}
 	cand := c.Candidates
 	if cand <= 0 {
 		cand = 300
 	}
-	if cand < len(ids) {
-		rng.Shuffle(len(ids), func(a, b int) { ids[a], ids[b] = ids[b], ids[a] })
-		ids = ids[:cand]
-	}
+	ids := s.sampleUnused(rng, cand)
 	best, bestMin := ids[0], -1.0
 	for _, i := range ids {
 		minDist := math.Inf(1)

@@ -70,6 +70,77 @@ func (s *State) unusedIDs() []int {
 	return out
 }
 
+// unusedCount counts the selectable ids without materializing them.
+func (s *State) unusedCount() int {
+	n := 0
+	for _, u := range s.Used {
+		if !u {
+			n++
+		}
+	}
+	return n
+}
+
+// nthUnused returns the id of the r-th (0-based, ascending) unused
+// instance — the streamed equivalent of unusedIDs()[r].
+func (s *State) nthUnused(r int) int {
+	for i, u := range s.Used {
+		if u {
+			continue
+		}
+		if r == 0 {
+			return i
+		}
+		r--
+	}
+	return -1
+}
+
+// randomUnused draws uniformly among the count unused ids, consuming
+// exactly one rng.Intn like the historical ids[rng.Intn(len(ids))] —
+// bit-identical at every corpus size, O(1) memory.
+func (s *State) randomUnused(rng *rand.Rand, count int) int {
+	return s.nthUnused(rng.Intn(count))
+}
+
+// reservoirThreshold is the train-split size above which candidate
+// subsampling switches from materialize-and-shuffle to reservoir
+// sampling. It sits above every Table-1 train split at scale 1 (the
+// largest, Agnews, has 96k), so runs on the reproduced corpora keep the
+// historical rng consumption bit for bit; only out-of-core scale factors
+// cross it. A var, not a const, so tests can lower it.
+var reservoirThreshold = 1 << 17
+
+// sampleUnused returns at most k unused ids. Below reservoirThreshold it
+// reproduces the legacy behavior exactly — materialize the ascending ids
+// and, only when k is binding, Fisher-Yates shuffle before truncation.
+// Above the threshold it streams a uniform k-reservoir (Algorithm R) over
+// the unused ids in O(k) memory.
+func (s *State) sampleUnused(rng *rand.Rand, k int) []int {
+	if len(s.Used) < reservoirThreshold {
+		ids := s.unusedIDs()
+		if k < len(ids) {
+			rng.Shuffle(len(ids), func(i, j int) { ids[i], ids[j] = ids[j], ids[i] })
+			ids = ids[:k]
+		}
+		return ids
+	}
+	res := make([]int, 0, k)
+	seen := 0
+	for i, u := range s.Used {
+		if u {
+			continue
+		}
+		seen++
+		if len(res) < k {
+			res = append(res, i)
+		} else if j := rng.Intn(seen); j < k {
+			res[j] = i
+		}
+	}
+	return res
+}
+
 // Sampler picks the next query instance. Next returns -1 when the pool is
 // exhausted.
 type Sampler interface {
@@ -86,13 +157,16 @@ type Random struct{}
 // Name implements Sampler.
 func (Random) Name() string { return "random" }
 
-// Next implements Sampler.
+// Next implements Sampler. The draw streams over the used-marks in two
+// passes (count, then select), so no id slice is ever materialized; the
+// selected id and rng consumption are bit-identical to the historical
+// unusedIDs()[rng.Intn(len)] at every corpus size.
 func (Random) Next(s *State, rng *rand.Rand) int {
-	ids := s.unusedIDs()
-	if len(ids) == 0 {
+	count := s.unusedCount()
+	if count == 0 {
 		return -1
 	}
-	return ids[rng.Intn(len(ids))]
+	return s.randomUnused(rng, count)
 }
 
 // Uncertain selects the unqueried instance with the highest predictive
@@ -103,17 +177,22 @@ type Uncertain struct{}
 // Name implements Sampler.
 func (Uncertain) Name() string { return "uncertain" }
 
-// Next implements Sampler.
+// Next implements Sampler. The entropy argmax streams over the
+// used-marks in ascending id order (the order unusedIDs produced), so no
+// id slice is materialized and selections stay bit-identical.
 func (Uncertain) Next(s *State, rng *rand.Rand) int {
-	ids := s.unusedIDs()
-	if len(ids) == 0 {
+	count := s.unusedCount()
+	if count == 0 {
 		return -1
 	}
 	if s.TrainProba == nil {
-		return ids[rng.Intn(len(ids))]
+		return s.randomUnused(rng, count)
 	}
 	best, bestH := -1, -1.0
-	for _, i := range ids {
+	for i, used := range s.Used {
+		if used {
+			continue
+		}
 		p := s.TrainProba[i]
 		if p == nil {
 			continue
@@ -123,7 +202,7 @@ func (Uncertain) Next(s *State, rng *rand.Rand) int {
 		}
 	}
 	if best < 0 {
-		return ids[rng.Intn(len(ids))]
+		return s.randomUnused(rng, count)
 	}
 	return best
 }
@@ -171,18 +250,15 @@ func (*SEU) Name() string { return "seu" }
 // naive scorer's; the only divergence is the exhausted-scoring
 // fallback below.
 func (u *SEU) Next(s *State, rng *rand.Rand) int {
-	ids := s.unusedIDs()
-	if len(ids) == 0 {
+	count := s.unusedCount()
+	if count == 0 {
 		return -1
 	}
 	cand := u.Candidates
 	if cand <= 0 {
 		cand = 150
 	}
-	if cand < len(ids) {
-		rng.Shuffle(len(ids), func(i, j int) { ids[i], ids[j] = ids[j], ids[i] })
-		ids = ids[:cand]
-	}
+	ids := s.sampleUnused(rng, cand)
 	eng := u.engine(s)
 	eng.scoreBatch(s, ids)
 	best, bestScore := -1, math.Inf(-1)

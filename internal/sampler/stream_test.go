@@ -1,0 +1,171 @@
+package sampler
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// legacyRandomNext is the pre-streaming Random draw, kept as the
+// bit-identity oracle.
+func legacyRandomNext(s *State, rng *rand.Rand) int {
+	ids := s.unusedIDs()
+	if len(ids) == 0 {
+		return -1
+	}
+	return ids[rng.Intn(len(ids))]
+}
+
+// legacySample is the pre-streaming candidate subsampling.
+func legacySample(s *State, rng *rand.Rand, k int) []int {
+	ids := s.unusedIDs()
+	if k < len(ids) {
+		rng.Shuffle(len(ids), func(i, j int) { ids[i], ids[j] = ids[j], ids[i] })
+		ids = ids[:k]
+	}
+	return ids
+}
+
+func usedPattern(rng *rand.Rand, n int, frac float64) []bool {
+	used := make([]bool, n)
+	for i := range used {
+		used[i] = rng.Float64() < frac
+	}
+	return used
+}
+
+// TestStreamedRandomBitIdentical: the two-pass draw equals the
+// materialized draw — same id, same rng consumption — across many pool
+// shapes.
+func TestStreamedRandomBitIdentical(t *testing.T) {
+	meta := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 50; trial++ {
+		s := &State{Used: usedPattern(meta, 200, meta.Float64())}
+		seed := meta.Int63()
+		a, b := rand.New(rand.NewSource(seed)), rand.New(rand.NewSource(seed))
+		got := Random{}.Next(s, a)
+		want := legacyRandomNext(s, b)
+		if got != want {
+			t.Fatalf("trial %d: streamed %d != legacy %d", trial, got, want)
+		}
+		// rng streams must stay in lockstep after the draw
+		if a.Int63() != b.Int63() {
+			t.Fatalf("trial %d: rng consumption diverged", trial)
+		}
+	}
+}
+
+// TestSampleUnusedLegacyBitIdentical: below the reservoir threshold,
+// sampleUnused reproduces materialize-and-shuffle exactly.
+func TestSampleUnusedLegacyBitIdentical(t *testing.T) {
+	meta := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 30; trial++ {
+		s := &State{Used: usedPattern(meta, 300, 0.4)}
+		for _, k := range []int{5, 50, 1000} {
+			seed := meta.Int63()
+			a, b := rand.New(rand.NewSource(seed)), rand.New(rand.NewSource(seed))
+			got := s.sampleUnused(a, k)
+			want := legacySample(s, b, k)
+			if len(got) != len(want) {
+				t.Fatalf("trial %d k=%d: len %d != %d", trial, k, len(got), len(want))
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("trial %d k=%d: [%d] %d != %d", trial, k, i, got[i], want[i])
+				}
+			}
+			if a.Int63() != b.Int63() {
+				t.Fatalf("trial %d k=%d: rng consumption diverged", trial, k)
+			}
+		}
+	}
+}
+
+// TestSampleUnusedReservoir: above the threshold the reservoir returns
+// exactly k distinct unused ids, uniformly enough that every id shows up
+// across repeated draws, in O(k) memory (no shuffle of the full pool).
+func TestSampleUnusedReservoir(t *testing.T) {
+	old := reservoirThreshold
+	reservoirThreshold = 64
+	defer func() { reservoirThreshold = old }()
+
+	const n, k = 500, 40
+	s := &State{Used: make([]bool, n)}
+	for i := 0; i < n; i += 3 {
+		s.Used[i] = true // 1/3 used
+	}
+	unused := map[int]bool{}
+	for i, u := range s.Used {
+		if !u {
+			unused[i] = true
+		}
+	}
+
+	hits := map[int]int{}
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 400; trial++ {
+		got := s.sampleUnused(rng, k)
+		if len(got) != k {
+			t.Fatalf("trial %d: sampled %d ids, want %d", trial, len(got), k)
+		}
+		seen := map[int]bool{}
+		for _, id := range got {
+			if !unused[id] {
+				t.Fatalf("trial %d: sampled used id %d", trial, id)
+			}
+			if seen[id] {
+				t.Fatalf("trial %d: duplicate id %d", trial, id)
+			}
+			seen[id] = true
+			hits[id]++
+		}
+	}
+	for id := range unused {
+		if hits[id] == 0 {
+			t.Errorf("id %d never sampled across 400 reservoir draws", id)
+		}
+	}
+}
+
+// TestSampleUnusedReservoirSmallPool: when the pool is at most k the
+// reservoir returns every unused id ascending and consumes no rng.
+func TestSampleUnusedReservoirSmallPool(t *testing.T) {
+	old := reservoirThreshold
+	reservoirThreshold = 8
+	defer func() { reservoirThreshold = old }()
+
+	s := &State{Used: make([]bool, 20)}
+	for i := 0; i < 20; i += 2 {
+		s.Used[i] = true
+	}
+	a, b := rand.New(rand.NewSource(3)), rand.New(rand.NewSource(3))
+	got := s.sampleUnused(a, 50)
+	if len(got) != 10 {
+		t.Fatalf("sampled %d, want all 10 unused", len(got))
+	}
+	for i := 1; i < len(got); i++ {
+		if got[i] <= got[i-1] {
+			t.Fatalf("ids not ascending: %v", got)
+		}
+	}
+	if a.Int63() != b.Int63() {
+		t.Fatal("rng consumed despite pool <= k")
+	}
+}
+
+// TestNthUnused: streamed indexing matches the materialized list.
+func TestNthUnused(t *testing.T) {
+	meta := rand.New(rand.NewSource(5))
+	s := &State{Used: usedPattern(meta, 100, 0.5)}
+	ids := s.unusedIDs()
+	if got := s.unusedCount(); got != len(ids) {
+		t.Fatalf("unusedCount %d != %d", got, len(ids))
+	}
+	for r, want := range ids {
+		if got := s.nthUnused(r); got != want {
+			t.Fatalf("nthUnused(%d) = %d, want %d", r, got, want)
+		}
+	}
+	if got := s.nthUnused(len(ids)); got != -1 {
+		t.Fatalf("nthUnused past the end = %d, want -1", got)
+	}
+}

@@ -27,6 +27,10 @@ type Featurizer struct {
 	df   []int32
 	idf  []float32
 	docs int
+	// incremental-fit state (BeginFit/FitChunk/FinishFit)
+	fitting bool
+	pending int
+	seen    map[int32]struct{}
 }
 
 // NewFeaturizer creates an unfitted featurizer with the given vector width.
@@ -73,18 +77,63 @@ func (f *Featurizer) Fit(corpus [][]string) error {
 	if len(corpus) == 0 {
 		return fmt.Errorf("featurizer: empty corpus")
 	}
-	seen := make(map[int32]struct{}, 64)
+	if err := f.BeginFit(); err != nil {
+		return err
+	}
+	f.FitChunk(corpus)
+	return f.FinishFit()
+}
+
+// BeginFit starts an incremental fit for streaming corpora that never
+// materialize fully in memory: feed chunks through FitChunk and freeze
+// with FinishFit. Document-frequency accumulation commutes, so any
+// chunking of the same corpus yields exactly the statistics Fit computes
+// in one shot.
+func (f *Featurizer) BeginFit() error {
+	if f.docs > 0 {
+		return fmt.Errorf("featurizer: Fit called twice")
+	}
+	if f.fitting {
+		return fmt.Errorf("featurizer: BeginFit called twice")
+	}
+	f.fitting = true
+	f.seen = make(map[int32]struct{}, 64)
+	return nil
+}
+
+// FitChunk accumulates document frequencies over one chunk. It panics if
+// called outside a BeginFit/FinishFit window (a programming error, like
+// Transform before Fit).
+func (f *Featurizer) FitChunk(corpus [][]string) {
+	if !f.fitting {
+		panic("featurizer: FitChunk outside BeginFit/FinishFit")
+	}
 	for _, tokens := range corpus {
-		clear(seen)
+		clear(f.seen)
 		for _, t := range tokens {
 			b, _ := f.hashTerm(t)
-			if _, ok := seen[b]; !ok {
-				seen[b] = struct{}{}
+			if _, ok := f.seen[b]; !ok {
+				f.seen[b] = struct{}{}
 				f.df[b]++
 			}
 		}
 	}
-	f.docs = len(corpus)
+	f.pending += len(corpus)
+}
+
+// FinishFit freezes the IDF weights accumulated since BeginFit. It
+// errors when no documents were fed, mirroring Fit's empty-corpus check.
+func (f *Featurizer) FinishFit() error {
+	if !f.fitting {
+		return fmt.Errorf("featurizer: FinishFit without BeginFit")
+	}
+	if f.pending == 0 {
+		return fmt.Errorf("featurizer: empty corpus")
+	}
+	f.docs = f.pending
+	f.fitting = false
+	f.pending = 0
+	f.seen = nil
 	f.idf = make([]float32, f.Dim)
 	for b := range f.idf {
 		// Smoothed IDF; buckets never seen get the maximum weight.

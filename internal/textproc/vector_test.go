@@ -1,0 +1,116 @@
+package textproc
+
+import (
+	"math"
+	"testing"
+)
+
+// Edge-case coverage for the sparse-vector primitives KATE retrieval and
+// the end model sit on: empty vectors (a document whose every token
+// hashed away), single-entry vectors, and zero-norm inputs must never
+// produce NaN or mutate their receiver.
+
+func sv(pairs ...float32) *SparseVector {
+	v := &SparseVector{}
+	for i := 0; i+1 < len(pairs); i += 2 {
+		v.Idx = append(v.Idx, int32(pairs[i]))
+		v.Val = append(v.Val, pairs[i+1])
+	}
+	return v
+}
+
+func TestDotEdgeCases(t *testing.T) {
+	empty := sv()
+	one := sv(3, 2)
+	if got := empty.Dot(empty); got != 0 {
+		t.Errorf("empty.Dot(empty) = %v, want 0", got)
+	}
+	if got := empty.Dot(one); got != 0 {
+		t.Errorf("empty.Dot(one) = %v, want 0", got)
+	}
+	if got := one.Dot(one); got != 4 {
+		t.Errorf("one.Dot(one) = %v, want 4", got)
+	}
+	// disjoint supports share no index
+	if got := sv(1, 5).Dot(sv(2, 7)); got != 0 {
+		t.Errorf("disjoint Dot = %v, want 0", got)
+	}
+	// Dot is symmetric on mixed supports
+	a, b := sv(0, 1, 2, 3, 5, 2), sv(2, 2, 5, 4)
+	if ab, ba := a.Dot(b), b.Dot(a); ab != ba || ab != 14 {
+		t.Errorf("Dot not symmetric: %v vs %v (want 14)", ab, ba)
+	}
+}
+
+func TestNormEdgeCases(t *testing.T) {
+	if got := sv().Norm(); got != 0 {
+		t.Errorf("empty Norm = %v, want 0", got)
+	}
+	if got := sv(7, -3).Norm(); got != 3 {
+		t.Errorf("single-entry Norm = %v, want 3", got)
+	}
+	if got := sv(0, 3, 9, 4).Norm(); got != 5 {
+		t.Errorf("3-4-5 Norm = %v, want 5", got)
+	}
+	// explicit zero values stored sparse still norm to 0
+	if got := sv(1, 0, 2, 0).Norm(); got != 0 {
+		t.Errorf("stored-zeros Norm = %v, want 0", got)
+	}
+}
+
+func TestCosineZeroNormGuard(t *testing.T) {
+	empty := sv()
+	zeros := sv(4, 0)
+	x := sv(1, 1)
+	for name, pair := range map[string][2]*SparseVector{
+		"empty-empty": {empty, empty},
+		"empty-x":     {empty, x},
+		"x-empty":     {x, empty},
+		"zeros-x":     {zeros, x},
+		"x-zeros":     {x, zeros},
+		"zeros-zeros": {zeros, zeros},
+	} {
+		got := pair[0].Cosine(pair[1])
+		if got != 0 {
+			t.Errorf("%s: Cosine = %v, want 0", name, got)
+		}
+		if math.IsNaN(got) {
+			t.Errorf("%s: Cosine is NaN", name)
+		}
+	}
+	if got := x.Cosine(x); math.Abs(got-1) > 1e-12 {
+		t.Errorf("self Cosine = %v, want 1", got)
+	}
+	// single shared entry with opposite signs
+	if got := sv(2, 1).Cosine(sv(2, -1)); math.Abs(got+1) > 1e-12 {
+		t.Errorf("opposite Cosine = %v, want -1", got)
+	}
+}
+
+func TestNormalizeEdgeCases(t *testing.T) {
+	// zero-norm vectors are left untouched rather than dividing by zero
+	z := sv(5, 0)
+	z.Normalize()
+	if z.Val[0] != 0 || math.IsNaN(float64(z.Val[0])) {
+		t.Errorf("zero-norm Normalize mutated value to %v", z.Val[0])
+	}
+	empty := sv()
+	empty.Normalize() // must not panic
+	if empty.NNZ() != 0 {
+		t.Errorf("empty Normalize grew the vector to %d entries", empty.NNZ())
+	}
+
+	v := sv(0, 3, 9, 4)
+	v.Normalize()
+	if n := v.Norm(); math.Abs(n-1) > 1e-6 {
+		t.Errorf("Norm after Normalize = %v, want 1", n)
+	}
+	if math.Abs(float64(v.Val[0])-0.6) > 1e-6 || math.Abs(float64(v.Val[1])-0.8) > 1e-6 {
+		t.Errorf("Normalize produced %v, want [0.6 0.8]", v.Val)
+	}
+	// idempotent
+	v.Normalize()
+	if n := v.Norm(); math.Abs(n-1) > 1e-6 {
+		t.Errorf("Norm after double Normalize = %v, want 1", n)
+	}
+}
