@@ -5,14 +5,14 @@
 GO ?= go
 
 # Total statement coverage (as printed by `go tool cover -func`) must not
-# drop below this floor, measured before the serving/bundle PR landed.
-# Raise it when coverage genuinely improves; never lower it to make ci
-# pass.
-COVERAGE_FLOOR = 82.8
+# drop below this floor, re-measured after the growth-loop PR landed
+# (83.3% at the time). Raise it when coverage genuinely improves; never
+# lower it to make ci pass.
+COVERAGE_FLOOR = 83.0
 
-.PHONY: ci vet build test race chaos stress fuzz-smoke cover-check metrics-lint bench bench-grid bench-json bench-smoke bench-seu-smoke bench-serve bench-serve-smoke bench-scale bench-scale-smoke clean
+.PHONY: ci vet build test race chaos grow-chaos grow-smoke stress fuzz-smoke cover-check metrics-lint bench bench-grid bench-json bench-smoke bench-seu-smoke bench-serve bench-serve-smoke bench-scale bench-scale-smoke clean
 
-ci: vet build test race chaos stress fuzz-smoke cover-check metrics-lint bench-smoke bench-seu-smoke bench-serve-smoke bench-scale-smoke
+ci: vet build test race chaos grow-chaos grow-smoke stress fuzz-smoke cover-check metrics-lint bench-smoke bench-seu-smoke bench-serve-smoke bench-scale-smoke
 
 vet:
 	$(GO) vet ./...
@@ -30,6 +30,20 @@ race:
 # sweep is interrupted, resumed, and must render byte-identically
 chaos:
 	$(GO) test -race -run 'Chaos|LoadCheckpoint' -count=1 ./internal/experiment/
+
+# growth-loop durability under the race detector: the online growth
+# daemon is killed at every checkpoint boundary of a cycle (with the
+# LLM degraded by seeded fault injection), restarted cold, and must
+# resume to a byte-identical candidate bundle and journal row
+grow-chaos:
+	$(GO) test -race -run TestGrowthChaos -count=1 ./internal/growth/
+
+# tiny end-to-end growth cycle over the Youtube split (wired into ci):
+# boot the daemon with the growth loop attached, label real HTTP
+# traffic into the capture reservoir, run one cycle, and check
+# /v1/growth reports the outcome
+grow-smoke:
+	$(GO) test -run 'TestGrowthSmoke|TestDaemonGrowthEndToEnd' -count=1 ./internal/growth/ ./cmd/datasculptd/
 
 # evaluation-engine determinism under the race detector: incremental
 # vote-matrix appends, parallel EM, the SEU scoring engine, and a

@@ -10,6 +10,17 @@
 //	curl -s localhost:8080/v1/bundles                             # provenance listing
 //	curl -s localhost:8080/v1/bundles/acme --data-binary @new.json # shadow-gated hot-swap
 //
+// With -grow-interval the daemon also keeps learning while it serves:
+// a background growth loop samples served texts into a bounded
+// reservoir, periodically re-runs the select→prompt→filter pipeline
+// over them, and promotes the grown bundle through the shadow-gated
+// hot-swap path — rolling back automatically on regression. Its state
+// (-grow-state-dir) is durable JSONL: a killed daemon resumes the
+// interrupted cycle and produces a byte-identical candidate.
+//
+//	datasculptd -bundle spam.json -grow-interval 10m -grow-state-dir /var/lib/datasculpt/growth
+//	curl -s localhost:8080/v1/growth                              # growth status + cycle journal
+//
 // The daemon is one replica of a shardable fleet: with -replicas N and
 // -replica-index I it answers only the tenants a consistent-hash ring
 // assigns to shard I and redirects the rest with 421 + a shard hint
@@ -35,9 +46,14 @@ import (
 	"os"
 	"os/signal"
 	"strings"
+	"sync/atomic"
 	"syscall"
 	"time"
 
+	"datasculpt/internal/bundle"
+	"datasculpt/internal/core"
+	"datasculpt/internal/dataset"
+	"datasculpt/internal/growth"
 	"datasculpt/internal/obs"
 	"datasculpt/internal/registry"
 	"datasculpt/internal/serve"
@@ -84,6 +100,16 @@ type config struct {
 	traceSample  float64
 	traceSlow    time.Duration
 	sloObjective float64
+
+	growInterval      time.Duration
+	growStateDir      string
+	growTenant        string
+	growBudget        int
+	growMinCorpus     int
+	growSeed          int64
+	growScale         float64
+	growAgreement     float64
+	growMaxRegression float64
 }
 
 func main() {
@@ -109,6 +135,15 @@ func main() {
 	flag.Float64Var(&cfg.traceSample, "trace-sample", 1, "head-sampling probability for -trace-out traces (errors and slow requests are always kept)")
 	flag.DurationVar(&cfg.traceSlow, "trace-slow", 250*time.Millisecond, "keep any trace at least this slow regardless of sampling (0 disables the latch)")
 	flag.Float64Var(&cfg.sloObjective, "slo-objective", 0.999, "availability target /v1/stats reports burn rates against")
+	flag.DurationVar(&cfg.growInterval, "grow-interval", 0, "online growth cycle period (0 disables the growth loop)")
+	flag.StringVar(&cfg.growStateDir, "grow-state-dir", "", "directory for the growth loop's durable state (journal, lineage head, cycle workspace)")
+	flag.StringVar(&cfg.growTenant, "grow-tenant", "", "tenant the growth loop samples and promotes (default: -default-tenant)")
+	flag.IntVar(&cfg.growBudget, "grow-budget", 8, "max LLM proposal iterations per growth cycle")
+	flag.IntVar(&cfg.growMinCorpus, "grow-min-corpus", 16, "min captured texts before a growth cycle runs")
+	flag.Int64Var(&cfg.growSeed, "grow-seed", 0, "seed for regenerating the growth base dataset (default: the bundle's training seed)")
+	flag.Float64Var(&cfg.growScale, "grow-scale", 1, "scale for regenerating the growth base dataset")
+	flag.Float64Var(&cfg.growAgreement, "grow-agreement", 0.9, "min post-promote agreement with the parent on the cycle corpus before auto-rollback")
+	flag.Float64Var(&cfg.growMaxRegression, "grow-max-regression", 0.02, "max offline-metric regression a growth candidate may show before rejection")
 	flag.Parse()
 
 	if err := run(cfg); err != nil {
@@ -151,7 +186,12 @@ func run(cfg config) (err error) {
 		}), o.Metrics, o.Logger)
 	}
 
-	reg := registry.New(o, registry.Options{
+	// The growth daemon needs the registry (to promote into) and the
+	// registry needs the capture hook (to feed the daemon), so the hook
+	// late-binds through an atomic pointer set once the daemon exists —
+	// before the listener opens, but data-race-free regardless.
+	var growPtr atomic.Pointer[growth.Daemon]
+	regOpts := registry.Options{
 		MaxResident:     cfg.maxResident,
 		ShadowAgreement: cfg.shadowAgreement,
 		Serve: serve.Options{
@@ -160,7 +200,15 @@ func run(cfg config) (err error) {
 			Workers:    cfg.parallelism,
 			QueueDepth: cfg.queueDepth,
 		},
-	})
+	}
+	if cfg.growInterval > 0 {
+		regOpts.Capture = func(tenant string, texts []string) {
+			if d := growPtr.Load(); d != nil {
+				d.Capture(tenant, texts)
+			}
+		}
+	}
+	reg := registry.New(o, regOpts)
 	if cfg.bundlePath != "" {
 		if err := reg.Register(cfg.defaultTenant, cfg.bundlePath); err != nil {
 			return err
@@ -173,6 +221,15 @@ func run(cfg config) (err error) {
 		}
 	}
 
+	growD, err := setupGrowth(cfg, reg, o)
+	if err != nil {
+		reg.Close()
+		return err
+	}
+	if growD != nil {
+		growPtr.Store(growD)
+	}
+
 	var ring *registry.Ring
 	if cfg.replicas > 1 {
 		ring = registry.NewRing(cfg.replicas, 0)
@@ -181,14 +238,18 @@ func run(cfg config) (err error) {
 	if cfg.peers != "" {
 		peers = strings.Split(cfg.peers, ",")
 	}
-	gw := registry.NewGateway(reg, o, registry.GatewayOptions{
+	gwOpts := registry.GatewayOptions{
 		DefaultTenant: cfg.defaultTenant,
 		Ring:          ring,
 		SelfShard:     cfg.replicaIndex,
 		Peers:         peers,
 		AccessLog:     cfg.accessLog,
 		SLOObjective:  cfg.sloObjective,
-	})
+	}
+	if growD != nil {
+		gwOpts.Growth = func() any { return growD.Status() }
+	}
+	gw := registry.NewGateway(reg, o, gwOpts)
 
 	ln, err := net.Listen("tcp", cfg.addr)
 	if err != nil {
@@ -202,7 +263,89 @@ func run(cfg config) (err error) {
 		"addr", ln.Addr().String())
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+	if growD != nil {
+		growCtx, growCancel := context.WithCancel(ctx)
+		growD.Start(growCtx)
+		defer func() {
+			growCancel()
+			growD.Close()
+		}()
+	}
 	return serveGateway(ctx, ln, reg, gw, o)
+}
+
+// setupGrowth assembles the online growth daemon when -grow-interval is
+// set: resolve the grow tenant's bundle, regenerate the base dataset it
+// was trained on, and rebuild a pipeline config from its provenance.
+func setupGrowth(cfg config, reg *registry.Registry, o *obs.Obs) (*growth.Daemon, error) {
+	if cfg.growInterval <= 0 {
+		return nil, nil
+	}
+	if cfg.growStateDir == "" {
+		return nil, errors.New("-grow-interval requires -grow-state-dir")
+	}
+	tenant := cfg.growTenant
+	if tenant == "" {
+		tenant = cfg.defaultTenant
+	}
+	path := ""
+	if tenant == cfg.defaultTenant && cfg.bundlePath != "" {
+		path = cfg.bundlePath
+	}
+	for _, m := range cfg.tenants {
+		name, p, _ := strings.Cut(m, "=")
+		if name == tenant {
+			path = p
+		}
+	}
+	if path == "" {
+		return nil, fmt.Errorf("growth tenant %q has no bundle mapping", tenant)
+	}
+	parent, err := bundle.Load(path)
+	if err != nil {
+		return nil, err
+	}
+	seed := cfg.growSeed
+	if seed == 0 {
+		seed = parent.Provenance.Seed
+	}
+	base, err := dataset.Load(parent.Dataset.Name, seed, cfg.growScale)
+	if err != nil {
+		return nil, fmt.Errorf("regenerating growth base dataset: %w", err)
+	}
+	pcfg := core.DefaultConfig(growthVariant(parent.Provenance.Method))
+	pcfg.Model = parent.Provenance.Model
+	pcfg.Seed = parent.Provenance.Seed
+	if parent.Provenance.Iterations > 0 {
+		pcfg.Iterations = parent.Provenance.Iterations
+	}
+	return growth.New(growth.Config{
+		Tenant:             tenant,
+		Registry:           reg,
+		Base:               base,
+		Parent:             parent,
+		Pipeline:           pcfg,
+		StateDir:           cfg.growStateDir,
+		Interval:           cfg.growInterval,
+		Budget:             cfg.growBudget,
+		MinCorpus:          cfg.growMinCorpus,
+		MinVerifyAgreement: cfg.growAgreement,
+		MaxRegression:      cfg.growMaxRegression,
+		Obs:                o,
+	})
+}
+
+// growthVariant recovers the pipeline variant from a bundle's method
+// string ("datasculpt-base", "datasculpt-cot-grown", ...), defaulting
+// to the base variant for anything unrecognized.
+func growthVariant(method string) core.Variant {
+	name := strings.TrimSuffix(strings.TrimPrefix(method, "datasculpt-"), "-grown")
+	for _, v := range []core.Variant{core.VariantBase, core.VariantCoT, core.VariantSC, core.VariantKATE} {
+		if name == string(v) {
+			return v
+		}
+	}
+	return core.VariantBase
 }
 
 // serveGateway serves the gateway on ln until ctx is cancelled, then

@@ -8,12 +8,14 @@ import (
 	"os"
 	"path/filepath"
 	"strings"
+	"sync/atomic"
 	"testing"
 	"time"
 
 	"datasculpt/internal/bundle"
 	"datasculpt/internal/core"
 	"datasculpt/internal/dataset"
+	"datasculpt/internal/growth"
 	"datasculpt/internal/obs"
 	"datasculpt/internal/registry"
 	"datasculpt/internal/serve"
@@ -170,6 +172,110 @@ func TestDaemonEndToEnd(t *testing.T) {
 	}
 }
 
+// TestDaemonGrowthEndToEnd is the serve-and-keep-learning smoke test
+// (`make grow-smoke`): boot the daemon with the growth loop wired the
+// way run() wires it, label real traffic over HTTP so the capture hook
+// feeds the reservoir, drive one growth cycle, and watch /v1/growth
+// report the promoted lineage.
+func TestDaemonGrowthEndToEnd(t *testing.T) {
+	path := trainBundle(t)
+	cfg := config{
+		bundlePath:    path,
+		defaultTenant: "default",
+		growInterval:  time.Hour, // loop armed but driven manually below
+		growStateDir:  t.TempDir(),
+		growBudget:    3, growMinCorpus: 4, growScale: 0.3,
+		growAgreement: 0.9, growMaxRegression: 0.02,
+	}
+
+	var growPtr atomic.Pointer[growth.Daemon]
+	reg := registry.New(obs.Default(), registry.Options{
+		Serve: serve.Options{Workers: 2},
+		Capture: func(tenant string, texts []string) {
+			if d := growPtr.Load(); d != nil {
+				d.Capture(tenant, texts)
+			}
+		},
+	})
+	if err := reg.Register("default", path); err != nil {
+		t.Fatal(err)
+	}
+	growD, err := setupGrowth(cfg, reg, obs.Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	growPtr.Store(growD)
+	base := startDaemon(t, reg, registry.GatewayOptions{
+		DefaultTenant: "default",
+		Growth:        func() any { return growD.Status() },
+	})
+
+	texts := []string{
+		"subscribe to my channel for free prizes",
+		"click this link to win an iphone",
+		"what a lovely performance",
+		"this song never gets old",
+		"check out my profile for cheap followers",
+		"the harmonies in the bridge are beautiful",
+	}
+	body, _ := json.Marshal(map[string]any{"texts": texts})
+	resp, err := http.Post(base+"/v1/label", "application/json", strings.NewReader(string(body)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("label status %d", resp.StatusCode)
+	}
+
+	getStatus := func() growth.Status {
+		t.Helper()
+		resp, err := http.Get(base + "/v1/growth")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("growth status %d", resp.StatusCode)
+		}
+		var st growth.Status
+		if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+			t.Fatal(err)
+		}
+		return st
+	}
+	st := getStatus()
+	if st.Tenant != "default" || st.Captured != len(texts) {
+		t.Fatalf("pre-cycle status %+v, want %d captured for tenant default", st, len(texts))
+	}
+
+	rec, err := growD.RunCycle(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec == nil || rec.CorpusLen != len(texts) {
+		t.Fatalf("cycle record %+v", rec)
+	}
+	st = getStatus()
+	if st.Stats.Cycles != 1 || st.LastCycle == nil || st.LastCycle.Outcome != rec.Outcome {
+		t.Fatalf("post-cycle status %+v", st)
+	}
+	if rec.Outcome == growth.OutcomePromoted && st.GrowthCycle != 1 {
+		t.Fatalf("promoted cycle did not advance the lineage: %+v", st)
+	}
+
+	// The grown tenant still serves after promotion/rollback.
+	resp, err = http.Post(base+"/v1/label", "application/json",
+		strings.NewReader(`{"text": "one more comment"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("post-cycle label status %d", resp.StatusCode)
+	}
+}
+
 func TestRunErrors(t *testing.T) {
 	base := config{addr: ":0", logLevel: "warn", replicas: 1}
 	if err := run(base); err == nil {
@@ -197,6 +303,17 @@ func TestRunErrors(t *testing.T) {
 	cfg.tenants = tenantFlags{"acme"} // no '='; flag.Var would reject, run sees it raw
 	if err := run(cfg); err == nil {
 		t.Error("unparseable tenant mapping accepted")
+	}
+	cfg = base
+	cfg.bundlePath = trainBundle(t)
+	cfg.growInterval = time.Minute // no -grow-state-dir
+	if err := run(cfg); err == nil {
+		t.Error("growth without a state dir accepted")
+	}
+	cfg.growStateDir = t.TempDir()
+	cfg.growTenant = "ghost" // no bundle mapping
+	if err := run(cfg); err == nil {
+		t.Error("growth tenant without a bundle mapping accepted")
 	}
 }
 

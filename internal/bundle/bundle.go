@@ -81,6 +81,14 @@ type Provenance struct {
 	CostUSD          float64 `json:"cost_usd"`
 	// CreatedUnix is the save time (Unix seconds).
 	CreatedUnix int64 `json:"created_unix"`
+	// Parent is the Fingerprint of the bundle this one was grown from
+	// (empty for offline-trained roots). With GrowthCycle it forms the
+	// lineage chain the online growth loop extends: candidate N's parent
+	// is the promoted artifact of cycle N-1.
+	Parent string `json:"parent,omitempty"`
+	// GrowthCycle counts completed growth cycles along the lineage
+	// (0 for offline-trained roots).
+	GrowthCycle int `json:"growth_cycle,omitempty"`
 }
 
 // Bundle is the in-memory form of a model artifact.
@@ -150,6 +158,20 @@ func ConfigHash(cfg core.Config) string {
 	h := fnv.New64a()
 	h.Write(data)
 	return fmt.Sprintf("%016x", h.Sum64())
+}
+
+// Fingerprint identifies a bundle's exact serialized content as a
+// 16-hex-digit FNV-64a of its canonical JSON. Growth lineage uses it to
+// name parents: two bundles share a fingerprint iff they serialize to
+// the same bytes.
+func Fingerprint(b *Bundle) (string, error) {
+	data, err := json.Marshal(b)
+	if err != nil {
+		return "", fmt.Errorf("bundle: fingerprinting: %w", err)
+	}
+	h := fnv.New64a()
+	h.Write(data)
+	return fmt.Sprintf("%016x", h.Sum64()), nil
 }
 
 // New assembles a bundle from a finished run: the dataset it trained on,

@@ -1,0 +1,139 @@
+package ckpt
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+type rec struct {
+	N    int    `json:"n"`
+	Name string `json:"name,omitempty"`
+}
+
+func TestLoadMissingFile(t *testing.T) {
+	recs, err := Load[rec](filepath.Join(t.TempDir(), "nope.jsonl"), nil)
+	if err != nil {
+		t.Fatalf("missing file must load as empty, got %v", err)
+	}
+	if recs != nil {
+		t.Fatalf("missing file must load as nil, got %v", recs)
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "c.jsonl")
+	w, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		if err := w.Append(rec{N: i, Name: "r"}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := Load[rec](path, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 5 {
+		t.Fatalf("got %d records, want 5", len(recs))
+	}
+	for i, r := range recs {
+		if r.N != i {
+			t.Fatalf("record %d: N=%d", i, r.N)
+		}
+	}
+}
+
+func TestAppendReopens(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "c.jsonl")
+	if err := Append(path, rec{N: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := Append(path, rec{N: 2}); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := Load[rec](path, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 2 || recs[0].N != 1 || recs[1].N != 2 {
+		t.Fatalf("got %+v", recs)
+	}
+}
+
+func TestTornFinalLineSkipped(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "c.jsonl")
+	data := `{"n":1}` + "\n" + `{"n":2}` + "\n" + `{"n":3,"na`
+	if err := os.WriteFile(path, []byte(data), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := Load[rec](path, nil)
+	if err != nil {
+		t.Fatalf("torn final line must be tolerated, got %v", err)
+	}
+	if len(recs) != 2 {
+		t.Fatalf("got %d records, want 2", len(recs))
+	}
+}
+
+func TestMalformedMidFileFatal(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "c.jsonl")
+	data := `{"n":1}` + "\n" + `{"n":2,"tor` + "\n" + `{"n":3}` + "\n"
+	if err := os.WriteFile(path, []byte(data), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, err := Load[rec](path, nil)
+	if err == nil {
+		t.Fatal("malformed line followed by more data must be an error")
+	}
+	if !strings.Contains(err.Error(), "line 2") {
+		t.Fatalf("error should name line 2: %v", err)
+	}
+}
+
+func TestValidityCheckTreatedAsMalformed(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "c.jsonl")
+	// The final record decodes but fails the shape check: tolerated like
+	// a torn line. The same record mid-file is corruption.
+	data := `{"n":1,"name":"a"}` + "\n" + `{"n":2}` + "\n"
+	if err := os.WriteFile(path, []byte(data), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	valid := func(r *rec) bool { return r.Name != "" }
+	recs, err := Load[rec](path, valid)
+	if err != nil {
+		t.Fatalf("invalid final record must be tolerated, got %v", err)
+	}
+	if len(recs) != 1 {
+		t.Fatalf("got %d records, want 1", len(recs))
+	}
+
+	data = `{"n":2}` + "\n" + `{"n":1,"name":"a"}` + "\n"
+	if err := os.WriteFile(path, []byte(data), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load[rec](path, valid); err == nil {
+		t.Fatal("invalid mid-file record must be an error")
+	}
+}
+
+func TestBlankLinesIgnored(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "c.jsonl")
+	data := `{"n":1}` + "\n\n" + `{"n":2}` + "\n\n"
+	if err := os.WriteFile(path, []byte(data), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := Load[rec](path, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 2 {
+		t.Fatalf("got %d records, want 2", len(recs))
+	}
+}

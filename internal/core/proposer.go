@@ -1,0 +1,348 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+
+	"datasculpt/internal/dataset"
+	"datasculpt/internal/lf"
+	"datasculpt/internal/llm"
+	"datasculpt/internal/prompt"
+	"datasculpt/internal/sampler"
+	"datasculpt/internal/textproc"
+)
+
+// Proposer is the headless incremental form of the pipeline's query
+// loop, built for the online growth daemon: instead of running
+// cfg.Iterations in one call, the caller drives one Step at a time and
+// journals each resulting ProposalStep. A killed caller resumes by
+// constructing a fresh Proposer over the same dataset/config and
+// Replaying the journaled steps — no LLM calls — before continuing
+// with live Steps, and the final LF set is byte-identical to the
+// uninterrupted run.
+//
+// That replay contract is why every per-iteration random choice is
+// derived, not threaded: Step i draws from an rng seeded by (Seed, i)
+// and prompts a model built by a per-iteration factory, so iteration
+// i's outcome never depends on how many earlier iterations ran live
+// versus replayed. Model-driven samplers (uncertain, qbc) feed on
+// interim posteriors that only exist on live runs, so NewProposer
+// rejects them.
+
+// ProposalStep is the journaled outcome of one proposer iteration —
+// everything Replay needs to reproduce its effect without an LLM call.
+type ProposalStep struct {
+	// Iter is the iteration index the step was produced at.
+	Iter int `json:"iter"`
+	// QueryID is the sampled train-example id (-1 when the unlabeled
+	// pool was exhausted; Exhausted is then set).
+	QueryID int `json:"query_id"`
+	// Keywords and Label are the parsed LLM proposal offered to the
+	// filter chain (empty on failed or unparseable iterations).
+	Keywords []string `json:"keywords,omitempty"`
+	Label    int      `json:"label,omitempty"`
+	// Kept counts the keywords the filter chain accepted.
+	Kept int `json:"kept"`
+	// ParseFailed marks an iteration whose LLM response the parser
+	// rejected; Failed marks one whose LLM call failed after retries.
+	ParseFailed bool `json:"parse_failed,omitempty"`
+	Failed      bool `json:"failed,omitempty"`
+	// Exhausted marks the pool-exhausted sentinel step: no further
+	// iteration can propose anything.
+	Exhausted bool `json:"exhausted,omitempty"`
+	// Calls/PromptTokens/CompletionTokens/CostUSD account the
+	// iteration's LLM spend, so a resumed run reports the same totals.
+	Calls            int     `json:"calls"`
+	PromptTokens     int     `json:"prompt_tokens"`
+	CompletionTokens int     `json:"completion_tokens"`
+	CostUSD          float64 `json:"cost_usd"`
+}
+
+// ProposerOptions tunes a Proposer beyond its pipeline Config.
+type ProposerOptions struct {
+	// Model builds iteration i's endpoint. Nil selects a fresh
+	// llm.Simulated per iteration, seeded from (cfg.Seed, i) — fresh
+	// per iteration because the Simulated's rng advances per call, and
+	// replayed iterations make no calls.
+	Model func(iter int) (llm.ChatModel, error)
+	// Frozen is the parent LF set the proposer extends: seeded into the
+	// filter chain unfiltered (see lf.FilterChain.Seed) and counted
+	// apart from the newly proposed LFs.
+	Frozen []lf.LabelFunction
+	// QueryPoolStart marks train ids [0, QueryPoolStart) as already
+	// used, so sampling draws only from the tail — the growth loop puts
+	// the base training split first and the captured corpus after it.
+	QueryPoolStart int
+}
+
+// Proposer runs the select→prompt→parse→filter loop one resumable step
+// at a time. Not safe for concurrent use.
+type Proposer struct {
+	d      *dataset.Dataset
+	cfg    Config
+	opts   ProposerOptions
+	chain  *lf.FilterChain
+	state  *sampler.State
+	smp    sampler.Sampler
+	sel    prompt.ExampleSelector
+	ev     *evaluator
+	style  prompt.Style
+	frozen int
+
+	calls, promptTokens, completionTokens int
+	costUSD                               float64
+	parseFailures, failedIterations      int
+}
+
+// NewProposer builds a proposer over d with cfg's pipeline settings.
+// The dataset must validate and the sampler must be replay-safe.
+func NewProposer(d *dataset.Dataset, cfg Config, opts ProposerOptions) (*Proposer, error) {
+	if err := cfg.Normalize(); err != nil {
+		return nil, err
+	}
+	if err := d.Validate(); err != nil {
+		return nil, err
+	}
+	switch cfg.Sampler {
+	case "uncertain", "qbc":
+		return nil, fmt.Errorf("core: sampler %q needs interim posteriors and cannot replay deterministically", cfg.Sampler)
+	}
+	smp, ok := sampler.ByName(cfg.Sampler)
+	if !ok {
+		return nil, fmt.Errorf("core: unknown sampler %q", cfg.Sampler)
+	}
+	if opts.QueryPoolStart < 0 || opts.QueryPoolStart > len(d.Train) {
+		return nil, fmt.Errorf("core: query pool start %d out of range (train size %d)", opts.QueryPoolStart, len(d.Train))
+	}
+
+	feat := textproc.NewFeaturizer(cfg.FeatureDim)
+	feat.Workers = cfg.Parallelism
+	if err := feat.Fit(dataset.FeatureCorpus(d.Train)); err != nil {
+		return nil, fmt.Errorf("core: fitting featurizer: %w", err)
+	}
+	trainIx := lf.NewIndex(d.Train)
+	validIx := lf.NewIndex(d.Valid)
+	chain := lf.NewFilterChainIndexed(d, cfg.Filters, trainIx, validIx)
+	chain.Seed(opts.Frozen)
+
+	var sel prompt.ExampleSelector
+	var err error
+	if cfg.usesKATE() {
+		sel, err = prompt.NewKATEWithOptions(d, feat, prompt.KATEOptions{
+			ANNThreshold:        cfg.ANNThreshold,
+			CandidateMultiplier: cfg.ANNMultiplier,
+			Seed:                cfg.Seed + 31,
+			Workers:             cfg.Parallelism,
+		})
+	} else {
+		sel, err = prompt.NewClassBalanced(d, cfg.Shots, cfg.Seed+7)
+	}
+	if err != nil {
+		return nil, err
+	}
+
+	state := &sampler.State{
+		Dataset:    d,
+		Used:       make([]bool, len(d.Train)),
+		TrainIndex: trainIx,
+		ValidIndex: validIx,
+		Workers:    cfg.Parallelism,
+	}
+	for i := 0; i < opts.QueryPoolStart; i++ {
+		state.Used[i] = true
+	}
+
+	p := &Proposer{
+		d: d, cfg: cfg, opts: opts, chain: chain, state: state,
+		smp: smp, sel: sel, frozen: len(chain.Accepted()),
+		ev: &evaluator{
+			d: d, feat: feat, trainIx: trainIx, validIx: validIx, cfg: cfg,
+			workers: cfg.Parallelism, em: newEvalMetrics(nil),
+		},
+		style: prompt.Base,
+	}
+	if cfg.usesCoT() {
+		p.style = prompt.CoT
+	}
+	if cfg.Sampler == "coreset" {
+		state.TrainVecs = p.ev.trainVectors()
+	}
+	return p, nil
+}
+
+// iterRNG derives iteration i's rng: a fixed function of (Seed, i), so
+// the draw is identical whether the iteration runs first, last, or
+// after a resume.
+func (p *Proposer) iterRNG(iter int) *rand.Rand {
+	return rand.New(rand.NewSource(p.cfg.Seed + 7919*int64(iter+1)))
+}
+
+// iterModel builds iteration i's endpoint and applies cfg.WrapModel.
+func (p *Proposer) iterModel(iter int) (llm.ChatModel, error) {
+	var m llm.ChatModel
+	if p.opts.Model != nil {
+		var err error
+		if m, err = p.opts.Model(iter); err != nil {
+			return nil, err
+		}
+	} else {
+		sim, err := llm.NewSimulated(p.cfg.Model, p.d, p.cfg.Seed+101+1000003*int64(iter))
+		if err != nil {
+			return nil, err
+		}
+		m = sim
+	}
+	if p.cfg.WrapModel != nil {
+		m = p.cfg.WrapModel(m)
+	}
+	return m, nil
+}
+
+// Step runs one live iteration: sample a query, prompt the model, parse
+// and filter the proposal. The returned step is the journal record; an
+// error is returned only for aborts (context cancellation, model
+// construction failure) — an LLM call that fails after retries is a
+// recorded degraded step, because the growth daemon's budget, unlike a
+// paper run, must survive flaky endpoints.
+func (p *Proposer) Step(ctx context.Context, iter int) (*ProposalStep, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("core: proposer iteration %d: %w", iter, err)
+	}
+	rng := p.iterRNG(iter)
+	st := &ProposalStep{Iter: iter, QueryID: -1}
+
+	id := p.smp.Next(p.state, rng)
+	if id < 0 {
+		st.Exhausted = true
+		return st, nil
+	}
+	p.state.Used[id] = true
+	st.QueryID = id
+
+	model, err := p.iterModel(iter)
+	if err != nil {
+		return nil, fmt.Errorf("core: proposer iteration %d: %w", iter, err)
+	}
+	meter := llm.NewMeter(model)
+	query := p.d.Train[id]
+	demos := p.sel.Select(query, p.cfg.Shots)
+	msgs := prompt.Render(p.style, p.d, demos, query)
+
+	responses, err := model.Chat(ctx, msgs, p.cfg.Temperature, p.cfg.samplesPerQuery())
+	if err != nil {
+		if ctx.Err() != nil {
+			return nil, fmt.Errorf("core: proposer iteration %d: %w", iter, err)
+		}
+		st.Failed = true
+		p.failedIterations++
+		return st, nil
+	}
+	meter.Record(responses)
+	snap := meter.Snapshot()
+	st.Calls = snap.Calls
+	st.PromptTokens = snap.PromptTokens
+	st.CompletionTokens = snap.CompletionTokens
+	st.CostUSD = snap.CostUSD
+	p.calls += snap.Calls
+	p.promptTokens += snap.PromptTokens
+	p.completionTokens += snap.CompletionTokens
+	p.costUSD += snap.CostUSD
+
+	var parsed *prompt.Parsed
+	if n := p.cfg.samplesPerQuery(); n == 1 {
+		parsed, err = prompt.ParseResponse(responses[0].Content)
+	} else {
+		contents := make([]string, len(responses))
+		for i, r := range responses {
+			contents[i] = r.Content
+		}
+		parsed, err = prompt.SelfConsistency(contents)
+	}
+	if err != nil {
+		st.ParseFailed = true
+		p.parseFailures++
+		return st, nil
+	}
+	st.Keywords = parsed.Keywords
+	st.Label = parsed.Label
+	for _, kw := range parsed.Keywords {
+		if f, _ := p.chain.Offer(kw, parsed.Label); f != nil {
+			st.Kept++
+		}
+	}
+	return st, nil
+}
+
+// Replay applies a journaled step without an LLM call: the query id is
+// re-marked used and the recorded keywords re-offered to the filter
+// chain. The chain is deterministic, so the accepted count must match
+// the record — a mismatch means the journal belongs to different state
+// (corpus, config, or parent set) and resuming would diverge.
+func (p *Proposer) Replay(st *ProposalStep) error {
+	if st.Exhausted {
+		return nil
+	}
+	if st.QueryID < 0 || st.QueryID >= len(p.state.Used) {
+		return fmt.Errorf("core: replaying iteration %d: query id %d out of range", st.Iter, st.QueryID)
+	}
+	p.state.Used[st.QueryID] = true
+	p.calls += st.Calls
+	p.promptTokens += st.PromptTokens
+	p.completionTokens += st.CompletionTokens
+	p.costUSD += st.CostUSD
+	if st.Failed {
+		p.failedIterations++
+		return nil
+	}
+	if st.ParseFailed {
+		p.parseFailures++
+		return nil
+	}
+	kept := 0
+	for _, kw := range st.Keywords {
+		if f, _ := p.chain.Offer(kw, st.Label); f != nil {
+			kept++
+		}
+	}
+	if kept != st.Kept {
+		return fmt.Errorf("core: replaying iteration %d: filter chain kept %d of %d keywords, journal says %d — state diverged",
+			st.Iter, kept, len(st.Keywords), st.Kept)
+	}
+	return nil
+}
+
+// Accepted returns the current LF set: the frozen parent LFs followed
+// by every newly accepted proposal, in acceptance order.
+func (p *Proposer) Accepted() []lf.LabelFunction { return p.chain.Accepted() }
+
+// NewCount returns how many LFs the loop has accepted beyond the
+// frozen parent set.
+func (p *Proposer) NewCount() int { return len(p.chain.Accepted()) - p.frozen }
+
+// Evaluate aggregates the current LF set with the label model, trains
+// the end model, and returns the full Result (with trained artifacts,
+// ready for bundle.New). Token accounting covers live and replayed
+// steps alike.
+func (p *Proposer) Evaluate() (*Result, error) {
+	res, err := p.ev.evaluate(p.chain.Accepted())
+	if err != nil {
+		return nil, err
+	}
+	res.Dataset = p.d.Name
+	res.Method = fmt.Sprintf("datasculpt-%s-grown", p.cfg.Variant)
+	res.ParseFailures = p.parseFailures
+	res.FailedIterations = p.failedIterations
+	res.Rejections = p.chain.Rejections()
+	res.Calls = p.calls
+	res.PromptTokens = p.promptTokens
+	res.CompletionTokens = p.completionTokens
+	res.CostUSD = p.costUSD
+	return res, nil
+}
+
+// Close releases the evaluator's vote matrix.
+func (p *Proposer) Close() { p.ev.close() }

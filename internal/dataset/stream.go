@@ -130,12 +130,13 @@ func (d *Dataset) SaveDirJSONL(dir string) error {
 
 // JSONLReader streams a .jsonl split file.
 type JSONLReader struct {
-	f    *os.File
-	sc   *bufio.Scanner
-	task TaskType
-	name string
-	line int
-	next int // expected sequential position
+	f      *os.File
+	sc     *bufio.Scanner
+	task   TaskType
+	name   string
+	line   int
+	next   int // expected sequential position
+	lastID int // id of the previously returned record
 }
 
 // OpenJSONL opens a .jsonl split for streaming. task controls entity
@@ -163,6 +164,18 @@ func (r *JSONLReader) Next() (*Example, error) {
 		if err := json.Unmarshal(raw, &rec); err != nil {
 			return nil, fmt.Errorf("dataset: %s line %d: %w", r.name, r.line, err)
 		}
+		// The format contract is strictly increasing ids: a duplicate or
+		// an out-of-order id means a torn write or a concatenated file,
+		// and silently re-basing it would mislabel every later example.
+		if r.next > 0 {
+			if rec.ID == r.lastID {
+				return nil, fmt.Errorf("dataset: %s line %d: duplicate id %d", r.name, r.line, rec.ID)
+			}
+			if rec.ID < r.lastID {
+				return nil, fmt.Errorf("dataset: %s line %d: id %d out of order after %d", r.name, r.line, rec.ID, r.lastID)
+			}
+		}
+		r.lastID = rec.ID
 		e := &Example{
 			ID:      r.next,
 			Text:    rec.Text,

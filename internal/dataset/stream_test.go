@@ -3,6 +3,9 @@ package dataset
 import (
 	"io"
 	"math"
+	"os"
+	"path/filepath"
+	"strings"
 	"testing"
 
 	"datasculpt/internal/textproc"
@@ -271,4 +274,77 @@ func TestGenerateScaleAbove1(t *testing.T) {
 	if _, err := Load("youtube", 1, 0); err == nil {
 		t.Error("scale 0 accepted")
 	}
+}
+
+// writeRawJSONL drops raw bytes into a temp .jsonl file and opens it.
+func writeRawJSONL(t *testing.T, content string) *JSONLReader {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "split.jsonl")
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	r, err := OpenJSONL(path, TextClassification)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { r.Close() })
+	return r
+}
+
+// nextErr drains the reader until it fails and returns that error.
+func nextErr(t *testing.T, r *JSONLReader) error {
+	t.Helper()
+	for {
+		_, err := r.Next()
+		if err == io.EOF {
+			t.Fatal("reader reached EOF without the expected error")
+		}
+		if err != nil {
+			return err
+		}
+	}
+}
+
+// TestJSONLReaderErrorPaths pins the failure modes of the streaming
+// format: a truncated (torn) line, a record past the line bound, a
+// duplicate id, and ids running backwards all fail with an error that
+// names the file and line instead of silently re-basing ids.
+func TestJSONLReaderErrorPaths(t *testing.T) {
+	t.Run("truncated-line", func(t *testing.T) {
+		// A writer killed mid-record leaves a torn final line.
+		err := nextErr(t, writeRawJSONL(t, `{"id":0,"label":1,"text":"ok"}`+"\n"+`{"id":1,"label":0,"tex`))
+		if !strings.Contains(err.Error(), "line 2") {
+			t.Fatalf("truncated line error does not name line 2: %v", err)
+		}
+	})
+	t.Run("line-too-long", func(t *testing.T) {
+		long := `{"id":0,"label":1,"text":"` + strings.Repeat("a", maxJSONLLine) + `"}`
+		err := nextErr(t, writeRawJSONL(t, long+"\n"))
+		if !strings.Contains(err.Error(), "scanning") {
+			t.Fatalf("oversized line error: %v", err)
+		}
+	})
+	t.Run("duplicate-id", func(t *testing.T) {
+		err := nextErr(t, writeRawJSONL(t,
+			`{"id":3,"label":1,"text":"a"}`+"\n"+`{"id":3,"label":0,"text":"b"}`+"\n"))
+		if !strings.Contains(err.Error(), "duplicate id 3") || !strings.Contains(err.Error(), "line 2") {
+			t.Fatalf("duplicate id error: %v", err)
+		}
+	})
+	t.Run("out-of-order-id", func(t *testing.T) {
+		err := nextErr(t, writeRawJSONL(t,
+			`{"id":5,"label":1,"text":"a"}`+"\n"+`{"id":2,"label":0,"text":"b"}`+"\n"))
+		if !strings.Contains(err.Error(), "id 2 out of order after 5") || !strings.Contains(err.Error(), "line 2") {
+			t.Fatalf("out-of-order id error: %v", err)
+		}
+	})
+	t.Run("gaps-allowed", func(t *testing.T) {
+		// Increasing but non-contiguous ids are legal (filtered exports);
+		// positions are re-based sequentially exactly as LoadDir does.
+		r := writeRawJSONL(t, `{"id":10,"label":1,"text":"a"}`+"\n\n"+`{"id":20,"label":0,"text":"b"}`+"\n")
+		exs := drain(t, r)
+		if len(exs) != 2 || exs[0].ID != 0 || exs[1].ID != 1 {
+			t.Fatalf("re-based ids wrong: %+v", exs)
+		}
+	})
 }

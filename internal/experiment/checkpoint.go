@@ -1,12 +1,9 @@
 package experiment
 
 import (
-	"bufio"
-	"encoding/json"
 	"fmt"
-	"os"
-	"sync"
 
+	"datasculpt/internal/ckpt"
 	"datasculpt/internal/core"
 )
 
@@ -99,88 +96,47 @@ func cellKey(method, ds string, seed int) string {
 	return fmt.Sprintf("%s|%s|%d", method, ds, seed)
 }
 
-// CheckpointWriter appends cell records to a JSONL file. Appends are
-// mutex-serialized and issued as one Write each, then synced, so
-// concurrent workers cannot interleave bytes and a crash cannot lose a
-// completed line.
+// CheckpointWriter appends cell records to a JSONL file via the shared
+// ckpt machinery: appends are mutex-serialized and issued as one Write
+// each, then synced, so concurrent workers cannot interleave bytes and
+// a crash cannot lose a completed line.
 type CheckpointWriter struct {
-	mu sync.Mutex
-	f  *os.File
+	w *ckpt.Writer
 }
 
 // OpenCheckpoint opens (creating if needed) a checkpoint file for
 // appending.
 func OpenCheckpoint(path string) (*CheckpointWriter, error) {
-	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	w, err := ckpt.Open(path)
 	if err != nil {
 		return nil, fmt.Errorf("experiment: opening checkpoint: %w", err)
 	}
-	return &CheckpointWriter{f: f}, nil
+	return &CheckpointWriter{w: w}, nil
 }
 
 // Append writes one record as a single JSONL line and syncs it to disk.
 func (w *CheckpointWriter) Append(rec CellRecord) error {
-	data, err := json.Marshal(rec)
-	if err != nil {
-		return fmt.Errorf("experiment: encoding checkpoint record: %w", err)
-	}
-	data = append(data, '\n')
-	w.mu.Lock()
-	defer w.mu.Unlock()
-	if _, err := w.f.Write(data); err != nil {
-		return fmt.Errorf("experiment: appending checkpoint record: %w", err)
-	}
-	if err := w.f.Sync(); err != nil {
-		return fmt.Errorf("experiment: syncing checkpoint: %w", err)
+	if err := w.w.Append(rec); err != nil {
+		return fmt.Errorf("experiment: checkpoint: %w", err)
 	}
 	return nil
 }
 
 // Close closes the underlying file.
 func (w *CheckpointWriter) Close() error {
-	w.mu.Lock()
-	defer w.mu.Unlock()
-	return w.f.Close()
+	return w.w.Close()
 }
 
 // LoadCheckpoint reads every intact record of a checkpoint file. A
 // missing file is an empty checkpoint (first run of a -resume sweep),
 // and a torn or malformed final line — the footprint of a crash mid-
 // append — is skipped rather than fatal. A malformed line anywhere
-// else is reported: that is corruption, not a crash artifact.
+// else is reported: that is corruption, not a crash artifact. A record
+// without a result payload counts as malformed.
 func LoadCheckpoint(path string) ([]CellRecord, error) {
-	f, err := os.Open(path)
-	if os.IsNotExist(err) {
-		return nil, nil
-	}
+	records, err := ckpt.Load(path, func(rec *CellRecord) bool { return rec.Result != nil })
 	if err != nil {
-		return nil, fmt.Errorf("experiment: opening checkpoint: %w", err)
-	}
-	defer f.Close()
-
-	var records []CellRecord
-	var badLine int // 1-based line number of the first malformed line
-	sc := bufio.NewScanner(f)
-	sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
-	line := 0
-	for sc.Scan() {
-		line++
-		if len(sc.Bytes()) == 0 {
-			continue
-		}
-		if badLine != 0 {
-			// a malformed line followed by more data is corruption
-			return nil, fmt.Errorf("experiment: checkpoint %s: malformed record at line %d", path, badLine)
-		}
-		var rec CellRecord
-		if err := json.Unmarshal(sc.Bytes(), &rec); err != nil || rec.Result == nil {
-			badLine = line
-			continue
-		}
-		records = append(records, rec)
-	}
-	if err := sc.Err(); err != nil {
-		return nil, fmt.Errorf("experiment: reading checkpoint: %w", err)
+		return nil, fmt.Errorf("experiment: %w", err)
 	}
 	return records, nil
 }

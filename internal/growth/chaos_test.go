@@ -1,0 +1,158 @@
+package growth
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"datasculpt/internal/bundle"
+	"datasculpt/internal/ckpt"
+	"datasculpt/internal/llm"
+	"datasculpt/internal/registry"
+)
+
+// errKilled is the chaos tests' SIGKILL stand-in: the afterCheckpoint
+// hook returns it at a chosen boundary, aborting the cycle exactly
+// where a real kill would leave the durable state.
+var errKilled = errors.New("chaos: killed")
+
+// chaosWrap degrades every live LLM call with seed-derived faults
+// behind a fast retry — the daemon must produce identical state whether
+// or not the provider misbehaved, because retries absorb the faults and
+// the journal replays past them.
+func chaosWrap(cycle, iter int, m llm.ChatModel) llm.ChatModel {
+	inj := llm.NewFaultInjector(m, llm.FaultRates{RateLimit: 0.15, Timeout: 0.1}, 977+100003*int64(cycle)+int64(iter))
+	return llm.NewRetry(inj,
+		llm.WithRetryAttempts(6),
+		llm.WithRetryBackoff(time.Microsecond, time.Millisecond),
+		llm.WithRetryJitter(0))
+}
+
+// chaosDaemon builds a daemon over stateDir with a fresh registry (a
+// restarted process has a fresh registry too) and the given kill hook.
+func chaosDaemon(t *testing.T, stateDir, path string, hook func(string) error) *Daemon {
+	t.Helper()
+	_, d, _ := trained(t)
+	parent, err := bundle.Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := newTestRegistry(t, registry.Options{}, path)
+	dmn, err := New(Config{
+		Tenant: "t", Registry: reg, Base: d, Parent: parent,
+		Pipeline: growthPipeline(), StateDir: stateDir,
+		Budget: 4, MinCorpus: 8,
+		WrapModel:       chaosWrap,
+		afterCheckpoint: hook,
+		now:             func() int64 { return 1_754_100_000 },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return dmn
+}
+
+// TestGrowthChaos is the PR's durability proof: kill the daemon at
+// every checkpoint boundary of a cycle, restart it cold over the same
+// state dir, and require the resumed cycle to finish with a candidate
+// bundle byte-identical to an uninterrupted run's — and the same
+// journal row. Run under -race via `make grow-chaos`.
+func TestGrowthChaos(t *testing.T) {
+	_, d, path := trained(t)
+	texts := corpusTexts(d, 24)
+
+	// Reference run: no kills, record the boundary sequence.
+	refDir := t.TempDir()
+	var boundaries []string
+	ref := chaosDaemon(t, refDir, path, func(stage string) error {
+		boundaries = append(boundaries, stage)
+		return nil
+	})
+	ref.Capture("t", texts)
+	refRec, err := ref.RunCycle(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if refRec == nil || refRec.CandidateHash == "" {
+		t.Fatalf("reference cycle built no candidate (%+v); the chaos fixture must exercise the full state machine", refRec)
+	}
+	refCand, err := os.ReadFile(filepath.Join(refDir, "candidate-1.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	refJSON, err := json.Marshal(refRec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantStages := []string{"snapshot", "proposed", "candidate", "recorded"}
+	for _, s := range wantStages {
+		found := false
+		for _, b := range boundaries {
+			found = found || b == s
+		}
+		if !found {
+			t.Fatalf("reference run never checkpointed %q (saw %v)", s, boundaries)
+		}
+	}
+
+	for _, stage := range boundaries {
+		t.Run("kill-after-"+stage, func(t *testing.T) {
+			dir := t.TempDir()
+
+			// Phase 1: identical capture sequence, killed at the boundary.
+			victim := chaosDaemon(t, dir, path, func(s string) error {
+				if s == stage {
+					return errKilled
+				}
+				return nil
+			})
+			victim.Capture("t", texts)
+			_, err := victim.RunCycle(context.Background())
+			if !errors.Is(err, errKilled) {
+				t.Fatalf("kill at %s: err = %v, want errKilled", stage, err)
+			}
+			if !strings.Contains(err.Error(), fmt.Sprintf("interrupted after %s", stage)) {
+				t.Fatalf("kill error does not name the boundary: %v", err)
+			}
+
+			// Phase 2: cold restart over the same state dir; the resumed
+			// cycle must not need the reservoir refilled.
+			resumed := chaosDaemon(t, dir, path, nil)
+			rec, err := resumed.RunCycle(context.Background())
+			if err != nil {
+				t.Fatalf("resume after %s: %v", stage, err)
+			}
+			gotJSON, err := json.Marshal(rec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if string(gotJSON) != string(refJSON) {
+				t.Errorf("journal row diverged after kill at %s:\n got %s\nwant %s", stage, gotJSON, refJSON)
+			}
+			cand, err := os.ReadFile(filepath.Join(dir, "candidate-1.json"))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if string(cand) != string(refCand) {
+				t.Errorf("candidate bytes diverged after kill at %s (%d vs %d bytes)", stage, len(cand), len(refCand))
+			}
+			if _, err := os.Stat(filepath.Join(dir, "cycle")); !os.IsNotExist(err) {
+				t.Errorf("resume after %s left the workspace behind: %v", stage, err)
+			}
+			rows, err := ckpt.Load(filepath.Join(dir, "growth.jsonl"),
+				func(r *CycleRecord) bool { return r.Outcome != "" })
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(rows) != 1 {
+				t.Errorf("journal holds %d rows after kill+resume, want exactly 1", len(rows))
+			}
+		})
+	}
+}

@@ -318,6 +318,25 @@ func (c *FilterChain) Offer(rawKeyword string, class int) (LabelFunction, Reject
 	return cand, ""
 }
 
+// Seed force-registers already-accepted LFs — a frozen parent set the
+// chain extends rather than re-litigates. Seeded LFs bypass the
+// accuracy and redundancy filters (they were accepted by an earlier
+// run and may score differently on a new corpus) but still feed the
+// duplicate and redundancy bookkeeping, so later Offer calls cannot
+// re-propose them.
+func (c *FilterChain) Seed(lfs []LabelFunction) {
+	for _, cand := range lfs {
+		if _, dup := c.names[cand.Name()]; dup {
+			continue
+		}
+		c.names[cand.Name()] = struct{}{}
+		c.accepted = append(c.accepted, cand)
+		if c.redundancy != nil {
+			c.redundancy.Add(cand)
+		}
+	}
+}
+
 // Accepted returns the LFs that survived, in acceptance order.
 func (c *FilterChain) Accepted() []LabelFunction { return c.accepted }
 

@@ -144,6 +144,9 @@ var (
 	// DurationBuckets spans 1ms..~65s, doubling — LLM call latency,
 	// rate-limit waits, grid-cell wall clock.
 	DurationBuckets = ExpBuckets(0.001, 2, 17)
+	// LongDurationBuckets spans 100ms..~27h, doubling — growth-cycle
+	// wall clock, which covers a full propose→evaluate→promote pass.
+	LongDurationBuckets = ExpBuckets(0.1, 2, 20)
 	// TokenBuckets spans 16..~32k tokens per call.
 	TokenBuckets = ExpBuckets(16, 2, 12)
 	// SmallCountBuckets covers per-iteration counts like LFs kept.

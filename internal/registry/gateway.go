@@ -43,6 +43,10 @@ type GatewayOptions struct {
 	// SLOObjective is the availability target /v1/stats reports burn
 	// rates against (default 0.999).
 	SLOObjective float64
+	// Growth, when set, supplies the growth daemon's status payload for
+	// GET /v1/growth (typed any to avoid importing internal/growth,
+	// which depends on this package). Nil answers 404 growth_disabled.
+	Growth func() any
 }
 
 func (o GatewayOptions) withDefaults() GatewayOptions {
@@ -165,6 +169,7 @@ func (g *Gateway) Handler() http.Handler {
 	mux.HandleFunc("/v1/bundles/{tenant}", methods("POST", g.handlePromote))
 	mux.HandleFunc("/v1/bundles/{tenant}/rollback", methods("POST", g.handleRollback))
 	mux.HandleFunc("/v1/stats", methods("GET", g.handleStats))
+	mux.HandleFunc("/v1/growth", methods("GET", g.handleGrowth))
 	mux.HandleFunc("/healthz", methods("GET", g.handleHealth))
 	mux.HandleFunc("/metrics", methods("GET", g.handleMetrics))
 	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
@@ -225,6 +230,8 @@ func routeLabel(path string) string {
 		return "promote"
 	case path == "/v1/stats":
 		return "stats"
+	case path == "/v1/growth":
+		return "growth"
 	case path == "/healthz":
 		return "health"
 	case path == "/metrics":
@@ -560,6 +567,17 @@ type statsResponse struct {
 	Tenants   map[string][]obs.WindowStats `json:"tenants"`
 	Runtime   obs.RuntimeSnapshot          `json:"runtime"`
 	Sampler   *obs.SamplerStats            `json:"trace_sampler,omitempty"`
+}
+
+// handleGrowth reports the growth daemon's status, or 404 when no
+// daemon is wired in (growth disabled or not configured for this
+// replica).
+func (g *Gateway) handleGrowth(w http.ResponseWriter, r *http.Request) {
+	if g.opts.Growth == nil {
+		writeError(w, http.StatusNotFound, "growth_disabled", "no growth daemon is running")
+		return
+	}
+	writeJSON(w, g.opts.Growth())
 }
 
 func (g *Gateway) handleStats(w http.ResponseWriter, r *http.Request) {

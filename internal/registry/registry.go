@@ -56,6 +56,11 @@ type Options struct {
 	// which a candidate bundle must agree with the incumbent to be
 	// promoted without force (default 0.9).
 	ShadowAgreement float64
+	// Capture, when set, observes every admitted request's texts with
+	// the tenant they were served for — the feed for the online growth
+	// loop's reservoir. It runs on the request goroutine, so it must be
+	// cheap and must not retain the slice past the call.
+	Capture func(tenant string, texts []string)
 }
 
 func (o Options) withDefaults() Options {
@@ -257,6 +262,9 @@ func New(o *obs.Obs, opts Options) *Registry {
 func (r *Registry) serveOpts(tenant string) serve.Options {
 	o := r.opts.Serve
 	o.Tenant = tenant
+	if cap := r.opts.Capture; cap != nil {
+		o.Capture = func(texts []string) { cap(tenant, texts) }
+	}
 	return o
 }
 

@@ -55,6 +55,11 @@ type Options struct {
 	// per-tenant metric handles are resolved once at construction and
 	// the hot path touches only scalar counters.
 	Tenant string
+	// Capture, when set, observes every admitted request's texts — the
+	// feed for the online growth loop's reservoir. It runs on the
+	// caller's goroutine before the texts enter the queue, so it must be
+	// cheap and must not retain the slice past the call.
+	Capture func(texts []string)
 }
 
 func (o Options) withDefaults() Options {
@@ -238,6 +243,9 @@ func (s *Server) Label(ctx context.Context, texts []string, explain bool) ([]Pre
 		return nil, err
 	}
 	s.mTexts.AddInt(len(texts))
+	if s.opts.Capture != nil {
+		s.opts.Capture(texts)
+	}
 	s.mInflight.Add(1)
 	defer s.mInflight.Add(-1)
 
